@@ -1,0 +1,31 @@
+"""Shared fixtures and artefact reporting for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (figure panel, table, or
+theory result) at full paper scale, prints it in the paper's layout,
+and asserts the qualitative *shape* criteria from DESIGN.md.  Absolute
+delays differ from the paper's ns-2/SPARC numbers by construction; the
+shapes (who wins, crossover position, growth trends) must hold.
+
+Benchmarks run once per artefact (``benchmark.pedantic`` with a single
+round) -- they are measurements of the reproduction pipeline, not
+micro-benchmarks; kernel-level micro-benchmarks live in
+``test_bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def artifact_report():
+    """Collects rendered artefacts and prints them at session end."""
+    chunks: list[str] = []
+    yield chunks
+    if chunks:
+        print("\n" + "\n\n".join(chunks))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

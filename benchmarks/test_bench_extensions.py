@@ -1,0 +1,161 @@
+"""Benches for the implemented future-work extensions.
+
+* Bound validation grid: every (mix, mode, rate) cell must be sound
+  (measured <= bound) with meaningful tightness.
+* Priority-extended regulation: delay vs weight curve.
+* Churn: stability of DSCT-style trees under membership turnover.
+* Whole-tree vs critical-path accounting at a medium scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.priority import (
+    build_priority_stagger_plan,
+    fluid_priority_vacation_regulator,
+    priority_delay_bound,
+)
+from repro.experiments.report import render_table
+from repro.experiments.validation import validate_bounds
+from repro.overlay.dynamics import ChurnSimulator
+from repro.overlay.groups import MultiGroupNetwork
+from repro.simulation.flow import VBRVideoSource
+from repro.simulation.fluid import simulate_fluid_chain
+from repro.simulation.tree_sim import simulate_multicast_tree
+from repro.topology.attach import attach_hosts
+from repro.topology.backbone import fig5_backbone
+from repro.topology.routing import host_rtt_matrix
+from repro.utils.piecewise import PiecewiseLinearCurve as PLC
+
+
+def test_bound_validation_grid(benchmark, artifact_report):
+    cells = run_once(
+        benchmark, validate_bounds,
+        utilizations=(0.5, 0.7, 0.9), horizon=10.0, dt=1e-3,
+    )
+    rows = [
+        [c.mix_name, c.mode, c.utilization, c.measured, c.bound, c.tightness]
+        for c in cells
+    ]
+    artifact_report.append(
+        render_table(
+            ["mix", "mode", "u", "measured [s]", "bound [s]", "tightness"],
+            rows, title="== Bound validation (measured / analytic) ==",
+        )
+    )
+    assert all(c.sound for c in cells)
+    assert max(c.tightness for c in cells) > 0.2
+
+
+def test_priority_extension(benchmark, artifact_report):
+    rho = 0.3
+    trace = VBRVideoSource(rho).generate(12.0, rng=3).fragment(0.002)
+    sigma = max(trace.empirical_sigma(rho), 1e-6)
+    envs = [ArrivalEnvelope(sigma, rho)] * 3
+    dt = 1e-3
+    total = 40.0
+    n = int(total / dt)
+    t = dt * np.arange(n + 1)
+    arr = np.concatenate(([0.0], np.cumsum(trace.binned_arrivals(dt, total))))
+
+    def sweep():
+        rows = []
+        for w in (1, 2, 4):
+            plan = build_priority_stagger_plan(envs, [w, 1, 1])
+            out = fluid_priority_vacation_regulator(arr, t, plan, 0)
+            a = PLC(t, arr)
+            d = PLC(t, np.minimum(out, arr[-1]))
+            measured = a.max_horizontal_deviation(d)
+            rows.append([w, measured, priority_delay_bound(plan, 0)])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    artifact_report.append(
+        render_table(
+            ["weight w", "measured delay [s]", "schedule bound [s]"],
+            rows, title="== Priority extension: delay vs weight ==",
+        )
+    )
+    measured = [r[1] for r in rows]
+    assert measured[0] > measured[-1]           # weight helps
+    for w, m, b in rows:
+        assert m <= b * 1.05 + 5e-3             # and stays bounded
+
+
+def test_churn_stability(benchmark, artifact_report):
+    bb = fig5_backbone()
+    net = attach_hosts(bb, 300, rng=6)
+    rtt = host_rtt_matrix(net)
+    mgn = MultiGroupNetwork.fully_joined(net, 1, rng=6)
+    tree = mgn.build_tree(0, "dsct", rng=6)
+
+    def churn_run():
+        members = sorted(tree.members())
+        keep = set(members[:200])
+        base = tree
+        # Shrink to 200 members to leave a standby pool.
+        from repro.overlay.dynamics import leave_member
+        for m in members[200:]:
+            if m == base.root:
+                continue
+            base, _ = leave_member(base, m)
+        standby = sorted(set(range(300)) - base.members())
+        sim = ChurnSimulator(base, rtt, standby, max_fanout=8)
+        return sim.run(400, rng=42)
+
+    stats = run_once(benchmark, churn_run)
+    artifact_report.append(
+        render_table(
+            ["joins", "leaves", "re-parents", "stability", "final height"],
+            [[stats.joins, stats.leaves, stats.reparent_operations,
+              round(stats.stability, 3), stats.height_trace[-1]]],
+            title="== Churn: 400 events over a 200-member DSCT tree ==",
+        )
+    )
+    assert stats.joins + stats.leaves == 400
+    # Local repair: well under one re-parent per event on average.
+    assert stats.stability < 2.0
+
+
+def test_whole_tree_vs_critical_path(benchmark, artifact_report):
+    """The reduction's accounting dominates ground truth (medium scale)."""
+    bb = fig5_backbone()
+    net = attach_hosts(bb, 48, rng=13)
+    mgn = MultiGroupNetwork.fully_joined(net, 3, rng=13)
+    trees = mgn.build_all_trees("dsct", rng=13)
+    u = 0.9
+    rho = u / 3
+    stream = VBRVideoSource(rho).generate(6.0, rng=13).fragment(0.002)
+    envs = [ArrivalEnvelope(max(stream.empirical_sigma(rho), 1e-6), rho)] * 3
+    traces = [stream] * 3
+
+    def compare():
+        whole = simulate_multicast_tree(
+            trees, 0, traces, envs, mgn.latency,
+            mode="sigma-rho", discipline="fifo",
+        )
+        path = trees[0].critical_path()
+        hops = len(path) - 1
+        prop = [0.0] + [
+            float(mgn.latency[path[i - 1], path[i]]) for i in range(1, hops)
+        ]
+        chain = simulate_fluid_chain(
+            traces[0], [[traces[1], traces[2]]] * hops, envs,
+            mode="sigma-rho", discipline="adversarial",
+            propagation=prop, dt=1e-3,
+        )
+        estimate = chain.worst_case_delay + float(mgn.latency[path[-2], path[-1]])
+        return whole.worst_case_delay, estimate, whole.events
+
+    whole_wdb, estimate, events = run_once(benchmark, compare)
+    artifact_report.append(
+        render_table(
+            ["whole-tree WDB [s]", "critical-path estimate [s]", "DES events"],
+            [[whole_wdb, estimate, events]],
+            title="== Whole-tree DES vs critical-path reduction (48 hosts) ==",
+        )
+    )
+    assert estimate >= whole_wdb * 0.95

@@ -1,0 +1,79 @@
+"""Figure 6(a)-(c): worst-case multicast delay, 665 hosts, 3 groups.
+
+Paper criteria checked per panel:
+
+* DSCT + (sigma, rho) degrades steeply with the rate;
+* DSCT + (sigma, rho, lambda) is flat and achieves the best delay of the
+  three DSCT schemes at heavy load ("when rho_bar >= 0.7, DSCT with
+  (sigma, rho, lambda) regulator achieves the best delay performances");
+* capacity-aware DSCT sits between the two at heavy load;
+* the DSCT (sigma, rho)/(sigma, rho, lambda) crossover lies near the
+  theoretical threshold;
+* NICE counterparts show the same control-scheme ordering, and DSCT is
+  no worse than NICE under the lambda scheme at heavy load on average
+  (location awareness shortens overlay hops).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.config import Fig6Config
+from repro.experiments.multigroup import run_fig6
+from repro.experiments.report import format_series
+from repro.workloads.profiles import AUDIO_MIX, HETEROGENEOUS_MIX, VIDEO_MIX
+
+CONFIG = Fig6Config(horizon=15.0, dt=1e-3)
+
+PANELS = {
+    "a": (AUDIO_MIX, "three groups fed the same 64 kbps audio stream"),
+    "b": (VIDEO_MIX, "three groups fed the same 1.5 Mbps video stream"),
+    "c": (HETEROGENEOUS_MIX, "one video group + two audio groups"),
+}
+
+
+def _render(panel: str, res) -> str:
+    lines = [
+        f"== Figure 6({panel}) -- {PANELS[panel][1]} ==",
+        "utilization:  " + " ".join(f"{u:7.2f}" for u in res.utilizations),
+    ]
+    for scheme in res.schemes:
+        lines.append(format_series(scheme, res.utilizations, res.series(scheme)))
+    lines += [
+        f"DSCT simulated crossover: {res.crossover_dsct}",
+        f"theoretical aggregate threshold: {res.theoretical_threshold_aggregate:.3f}",
+        f"max DSCT improvement: {res.max_improvement_dsct:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def _check_shape(res) -> None:
+    sr = res.series("dsct+sigma-rho")
+    srl = res.series("dsct+sigma-rho-lambda")
+    ca = res.series("capacity-aware-dsct")
+    # (sigma, rho) explodes with load.
+    assert sr[-1] > 3 * sr[0]
+    # Heavy-load ordering of the paper: lambda < capacity-aware < sigma-rho.
+    assert srl[-1] < ca[-1] < sr[-1]
+    # Light-load ordering: sigma-rho is fine, lambda pays its vacations.
+    assert sr[0] < srl[0]
+    # Crossover near the theoretical threshold.
+    assert res.crossover_dsct is not None
+    assert abs(res.crossover_dsct - res.theoretical_threshold_aggregate) <= 0.2
+    # Improvement factor at heavy load (paper: 3.5-4.3x).
+    assert res.max_improvement_dsct >= 2.0
+    # NICE shows the same control ordering at the heaviest point.
+    last = res.points[-1].wdb
+    assert last["nice+sigma-rho-lambda"] < last["nice+sigma-rho"]
+    # Regulated tree heights are rate-independent.
+    hs = res.tree_heights["dsct+sigma-rho-lambda"]
+    assert len({tuple(v) for v in hs.values()}) == 1
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c"])
+def test_fig6(panel, benchmark, artifact_report):
+    mix, _ = PANELS[panel]
+    res = run_once(benchmark, run_fig6, mix, CONFIG)
+    artifact_report.append(_render(panel, res))
+    _check_shape(res)

@@ -1,0 +1,44 @@
+"""Figures 1 and 2 (the paper's illustrative figures) as artefacts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.illustrations import fig1_example, fig2_regulator_operation
+from repro.experiments.report import render_table
+
+
+def test_fig1(benchmark, artifact_report):
+    res = run_once(benchmark, fig1_example, 5.0)
+    rows = [
+        ["one group", res.degree_bound_one_group,
+         res.one_group_tree.height, res.one_group_tree.fanout()[0]],
+        ["two groups", res.degree_bound_two_groups,
+         res.two_group_tree.height, res.two_group_tree.fanout()[0]],
+    ]
+    artifact_report.append(
+        render_table(
+            ["scenario", "degree bound", "tree height", "root fan-out"],
+            rows,
+            title="== Figure 1 -- capacity-aware reconstruction (C = 5 rho) ==",
+        )
+    )
+    assert res.one_group_tree.height == 2
+    assert res.two_group_tree.height == 3
+
+
+def test_fig2(benchmark, artifact_report):
+    res = run_once(benchmark, fig2_regulator_operation, 0.1, 0.25, 4)
+    w, v, p = res.working_period, res.vacation, res.period
+    artifact_report.append(
+        render_table(
+            ["W [s]", "V [s]", "period [s]", "touch points [s]"],
+            [[w, v, p, ", ".join(f"{x:.3f}" for x in res.touch_times[:5])]],
+            title="== Figure 2 -- (sigma, rho, lambda) regulator operation ==",
+        )
+    )
+    # The zig-zag touches the trend line once per period, at m P + W.
+    meaningful = [t for t in res.touch_times if t > w / 2]
+    assert len(meaningful) >= 3
+    assert np.all(res.output_cum <= res.trend + 1e-9)

@@ -1,0 +1,86 @@
+"""Theory artefacts: thresholds, control ranges, O(K^n) ratio, Lemma 2.
+
+These regenerate the paper's analytical numbers:
+
+* ``rho* = 0.73 C`` (homogeneous) and ``0.79 C`` (heterogeneous)
+  aggregate thresholds, as limits of the exact finite-K crossings;
+* control ranges ``2 - sqrt(3) ~ 0.27`` and ``(5 - sqrt(21))/2 ~ 0.21``;
+* the improvement ratio's ``O(K^n)`` growth inside the heavy-load band;
+* Lemma 2's height bound at the paper's n = 665 (7 layers).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import render_table
+from repro.experiments.theory import (
+    height_bound_table,
+    improvement_ratio_table,
+    threshold_table,
+)
+
+
+def test_thresholds(benchmark, artifact_report):
+    tt = run_once(benchmark, threshold_table, (2, 3, 5, 10, 30, 100, 1000))
+    rows = [
+        [r["k"], r["homogeneous"], r["heterogeneous"], r["heterogeneous_quadratic"]]
+        for r in tt["rows"]
+    ]
+    artifact_report.append(
+        render_table(
+            ["K", "hom K*rho*", "het K*rho*", "het quadratic"],
+            rows,
+            title="== Rate thresholds (Theorems 3/4) ==",
+            float_fmt="{:.4f}",
+        )
+        + f"\nlimits: hom {tt['limit_homogeneous']:.4f} het {tt['limit_heterogeneous']:.4f}"
+    )
+    last = tt["rows"][-1]
+    assert abs(last["homogeneous"] - (math.sqrt(3) - 1)) < 1e-3
+    assert abs(last["heterogeneous"] - (math.sqrt(21) - 3) / 2) < 1e-3
+    assert abs(tt["control_range_homogeneous"] - (2 - math.sqrt(3))) < 1e-12
+    assert abs(tt["control_range_heterogeneous"] - (5 - math.sqrt(21)) / 2) < 1e-12
+    # K = 3 (the simulations' K): threshold used by the harness.
+    k3 = tt["rows"][1]
+    assert 0.78 < k3["homogeneous"] < 0.80
+    assert 0.82 < k3["heterogeneous"] < 0.84
+
+
+def test_improvement_ratio(benchmark, artifact_report):
+    rows = run_once(
+        benchmark, improvement_ratio_table, (2, 3, 5, 8, 12), (1, 2), 0.02
+    )
+    artifact_report.append(
+        render_table(
+            ["K", "n", "rho", "Dg/D^g", "O(K^n) bound"],
+            [[r["k"], r["n"], r["rho"], r["ratio"], r["lower_bound"]] for r in rows],
+            title="== Improvement ratio (Theorems 5/6) ==",
+            float_fmt="{:.4f}",
+        )
+    )
+    for r in rows:
+        assert r["ratio"] >= r["lower_bound"]
+    # O(K^n): at fixed n the ratio grows with K; at fixed K it grows with n.
+    by_n1 = [r["ratio"] for r in rows if r["n"] == 1]
+    assert by_n1 == sorted(by_n1)
+    k3 = {r["n"]: r["ratio"] for r in rows if r["k"] == 3}
+    assert k3[2] > k3[1]
+
+
+def test_height_bound(benchmark, artifact_report):
+    rows = run_once(
+        benchmark, height_bound_table, (10, 50, 100, 300, 665, 1000, 5000), 3
+    )
+    artifact_report.append(
+        render_table(
+            ["n", "k", "height bound"],
+            [[r["n"], r["k"], r["height_bound"]] for r in rows],
+            title="== DSCT height bound (Lemma 2) ==",
+        )
+    )
+    paper = next(r for r in rows if r["n"] == 665)
+    assert paper["height_bound"] == 7
+    heights = [r["height_bound"] for r in rows]
+    assert heights == sorted(heights)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The Adaptive Control Algorithm switching live as load rises.
+
+Ramps the average input rate of a 3-group end host across the rate
+threshold and shows the algorithm's decision at every step, together
+with the measured worst-case delay of the model it picked versus the
+model it rejected -- i.e. what adaptivity buys over either fixed policy.
+
+Run:  python examples/adaptive_switching.py
+"""
+
+import numpy as np
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.adaptive import AdaptiveController
+from repro.core.threshold import homogeneous_threshold
+from repro.simulation.flow import VBRVideoSource
+from repro.simulation.fluid import simulate_fluid_host
+
+K = 3
+HORIZON = 10.0
+
+
+def main() -> None:
+    threshold = homogeneous_threshold(K, aggregate=True)
+    print(f"K = {K} groups; aggregate threshold K*rho* = {threshold:.3f}\n")
+    print(f"{'u':>5s}  {'mode chosen':>18s}  {'chosen WDB':>10s}  "
+          f"{'rejected WDB':>12s}  {'adaptivity gain':>15s}")
+
+    for u in np.round(np.arange(0.35, 0.96, 0.1), 2):
+        rho = float(u) / K
+        stream = VBRVideoSource(rho).generate(HORIZON, rng=5).fragment(0.002)
+        sigma = max(stream.empirical_sigma(rho), 1e-9)
+        flows = [ArrivalEnvelope(sigma, rho)] * K
+        ctrl = AdaptiveController(flows)
+        chosen = ctrl.select_mode().value
+        other = (
+            "sigma-rho-lambda" if chosen == "sigma-rho" else "sigma-rho"
+        )
+        results = {
+            mode: simulate_fluid_host(
+                [stream] * K, flows, mode=mode,
+                discipline="adversarial", dt=1e-3,
+            ).worst_case_delay
+            for mode in (chosen, other)
+        }
+        gain = results[other] / results[chosen] if results[chosen] > 0 else 1.0
+        print(f"{u:5.2f}  {chosen:>18s}  {results[chosen]:10.3f}  "
+              f"{results[other]:12.3f}  {gain:14.2f}x")
+
+    print("\nthe algorithm tracks whichever regulator family is better "
+          "on each side of the threshold -- the point of Section III.")
+
+
+if __name__ == "__main__":
+    main()

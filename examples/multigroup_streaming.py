@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Simulation II of the paper (Fig. 5 / Fig. 6): the multi-group network.
+
+Builds the full world -- the Fig.-5 19-router backbone, 665 end hosts,
+3 multicast groups all hosts join -- then, at one heavy-load sweep
+point, constructs the six scheme combinations the paper compares and
+measures each one's worst-case multicast delay along its critical path.
+
+Run:  python examples/multigroup_streaming.py  [--hosts N] [--u U]
+"""
+
+import argparse
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.experiments.config import Fig6Config
+from repro.experiments.multigroup import measure_tree_wdb, _parse_scheme
+from repro.overlay.groups import MultiGroupNetwork
+from repro.topology.attach import attach_hosts
+from repro.topology.backbone import fig5_backbone
+from repro.workloads.profiles import VIDEO_MIX
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--hosts", type=int, default=665)
+    ap.add_argument("--u", type=float, default=0.85,
+                    help="aggregate utilisation (x-axis of Fig. 6)")
+    args = ap.parse_args()
+
+    # ------------------------------------------------------------------
+    # The underlay: Fig.-5 backbone + host attachment.
+    # ------------------------------------------------------------------
+    backbone = fig5_backbone()
+    network = attach_hosts(backbone, args.hosts, rng=2006)
+    mgn = MultiGroupNetwork.fully_joined(network, VIDEO_MIX.k, rng=2006)
+    print(f"underlay: {backbone.number_of_nodes()} routers, "
+          f"{network.n_hosts} hosts over {len(network.domains())} domains")
+    print(f"groups: {mgn.n_groups}, sources {mgn.sources}; every host "
+          f"forwards K_hat = {mgn.max_k_hat()} flows")
+
+    # ------------------------------------------------------------------
+    # The workload: three groups fed the same video stream, scaled so
+    # the per-host aggregate input rate is u.
+    # ------------------------------------------------------------------
+    config = Fig6Config(n_hosts=args.hosts, horizon=10.0, dt=1e-3)
+    scaled = VIDEO_MIX.at_utilization(args.u)
+    traces = scaled.generate_traces(config.horizon, rng=7, mtu=config.mtu)
+    envelopes = [
+        ArrivalEnvelope(max(tr.empirical_sigma(src.rate), 1e-9), src.rate)
+        for tr, src in zip(traces, scaled.sources)
+    ]
+    print(f"\nworkload: u = {args.u} -> per-flow rho = "
+          f"{[round(s.rate, 3) for s in scaled.sources]}")
+
+    # ------------------------------------------------------------------
+    # Six schemes: {capacity-aware, (s,r), (s,r,l)} x {DSCT, NICE}.
+    # ------------------------------------------------------------------
+    print(f"\n{'scheme':>26s}  {'height':>6s}  {'critical path':>13s}  "
+          f"{'WDB [s]':>8s}")
+    for scheme in config.schemes:
+        tree_kind, control = _parse_scheme(scheme)
+        trees = mgn.build_all_trees(
+            tree_kind, k=config.cluster_k,
+            aggregate_rate=args.u if control == "none" else None,
+            rng=config.seed,
+        )
+        worst, worst_tree = 0.0, None
+        for g, tree in enumerate(trees):
+            if control == "none":
+                fanout = tree.fanout()
+                caps = [
+                    float(mgn.host_capacity[h]) / max(fanout.get(h, 1), 1)
+                    for h in tree.critical_path()[:-1]
+                ]
+                mode = "none"
+            else:
+                caps, mode = 1.0, control
+            wdb = measure_tree_wdb(
+                tree, g, traces, envelopes, mgn.latency,
+                mode=mode, capacities=caps, config=config,
+            )
+            if wdb > worst:
+                worst, worst_tree = wdb, tree
+        height = max(t.height for t in trees)
+        cp = len(worst_tree.critical_path()) if worst_tree else 0
+        print(f"{scheme:>26s}  {height:6d}  {cp:13d}  {worst:8.3f}")
+
+    print("\nexpected ordering at heavy load (paper Fig. 6): "
+          "(s,r,l)-DSCT < capacity-aware-DSCT < (s,r)-DSCT, "
+          "and DSCT <= NICE per control scheme")
+
+
+if __name__ == "__main__":
+    main()

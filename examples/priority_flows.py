@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The priority-extended (sigma, rho, lambda, w) regulator in action.
+
+The paper's conclusion proposes extending the vacation regulator to
+"recognize and process flows with different priorities".  This example
+runs the implemented extension: a host carries three equal-rate flows,
+but flow 0 (say, the live-auction video of the paper's motivating
+scenarios) is granted priority weight w.  Its working period is split
+into w staggered sub-windows, shrinking its worst-case blocked interval
+while leaving every flow's throughput untouched.
+
+Run:  python examples/priority_flows.py
+"""
+
+import numpy as np
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.priority import (
+    build_priority_stagger_plan,
+    fluid_priority_vacation_regulator,
+    priority_delay_bound,
+)
+from repro.simulation.flow import VBRVideoSource
+from repro.utils.piecewise import PiecewiseLinearCurve
+
+K = 3
+RHO = 0.3          # each flow at 30% -> aggregate 0.9: heavy load
+HORIZON = 12.0
+DT = 1e-3
+
+
+def main() -> None:
+    stream = VBRVideoSource(RHO).generate(HORIZON, rng=7).fragment(0.002)
+    sigma = max(stream.empirical_sigma(RHO), 1e-9)
+    flows = [ArrivalEnvelope(sigma, RHO)] * K
+    total = HORIZON + 30.0
+    n = int(total / DT)
+    t = DT * np.arange(n + 1)
+    arr = np.concatenate(([0.0], np.cumsum(stream.binned_arrivals(DT, total))))
+
+    print(f"{K} flows at rho={RHO} (aggregate 0.9), sigma={sigma:.4f}")
+    print(f"\n{'weight w':>8s}  {'sub-windows':>11s}  {'measured delay':>14s}  "
+          f"{'schedule bound':>14s}")
+    for w in (1, 2, 3, 4):
+        plan = build_priority_stagger_plan(flows, [w, 1, 1])
+        out = fluid_priority_vacation_regulator(arr, t, plan, 0)
+        a = PiecewiseLinearCurve(t, arr)
+        d = PiecewiseLinearCurve(t, np.minimum(out, arr[-1]))
+        measured = a.max_horizontal_deviation(d)
+        bound = priority_delay_bound(plan, 0)
+        print(f"{w:8d}  {len(plan.sub_offsets[0]):11d}  "
+              f"{measured:14.3f}  {bound:14.3f}")
+    print("\nhigher weight -> shorter blocked intervals -> smaller "
+          "worst-case delay, at unchanged throughput share.")
+
+
+if __name__ == "__main__":
+    main()

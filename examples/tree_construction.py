@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Overlay tree construction: DSCT vs NICE vs capacity-aware.
+
+Shows the overlay substrate on its own: builds each tree type over the
+same host population and compares the structural metrics the EMcast
+literature cares about -- height (tree layers), maximum fan-out, link
+stress, and latency stretch -- plus Lemma 2's height bound.
+
+Run:  python examples/tree_construction.py
+"""
+
+import numpy as np
+
+from repro.core.multicast_bounds import dsct_height_bound
+from repro.overlay.capacity_aware import capacity_aware_dsct
+from repro.overlay.dsct import build_dsct_tree
+from repro.overlay.nice import build_nice_tree
+from repro.topology.attach import attach_hosts
+from repro.topology.backbone import fig5_backbone
+from repro.topology.routing import host_latency_matrix, host_rtt_matrix
+
+N_HOSTS = 300
+K = 3  # cluster size base, as in the paper
+
+
+def describe(name, tree, latency, host_router):
+    print(f"{name:>22s}: height={tree.height}  "
+          f"max fan-out={tree.max_fanout():2d}  "
+          f"link stress={tree.link_stress(host_router):5.2f}  "
+          f"stretch={tree.stretch(latency):5.2f}  "
+          f"critical path={len(tree.critical_path())} hosts")
+
+
+def main() -> None:
+    backbone = fig5_backbone()
+    network = attach_hosts(backbone, N_HOSTS, rng=11)
+    rtt = host_rtt_matrix(network)
+    latency = host_latency_matrix(network)
+    gen = np.random.default_rng(11)
+    capacities = gen.uniform(4.0, 10.0, size=N_HOSTS)
+    source = 0
+
+    print(f"{N_HOSTS} hosts on the Fig.-5 backbone, "
+          f"{len(network.domains())} local domains")
+    print(f"Lemma 2 height bound for n={N_HOSTS}, k={K}: "
+          f"{dsct_height_bound(N_HOSTS, K)}\n")
+
+    dsct = build_dsct_tree(
+        source, range(N_HOSTS), rtt, network.host_router, k=K, rng=1
+    )
+    describe("DSCT", dsct, latency, network.host_router)
+
+    nice = build_nice_tree(source, range(N_HOSTS), rtt, k=K, rng=1)
+    describe("NICE", nice, latency, network.host_router)
+
+    for u in (0.4, 0.9):
+        ca = capacity_aware_dsct(
+            source, range(N_HOSTS), rtt, network.host_router,
+            capacities, aggregate_rate=u, rng=1,
+        )
+        describe(f"capacity-aware (u={u})", ca, latency, network.host_router)
+
+    print("\nnote how the capacity-aware tree deepens as the traffic "
+          "rate grows (Tables I-III), while DSCT/NICE are rate-blind; "
+          "DSCT's location awareness gives it the lowest stretch.")
+
+
+if __name__ == "__main__":
+    main()

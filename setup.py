@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so
+the package can be installed editable on machines without the ``wheel``
+package (PEP 660 editable builds need it): there,
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+falls back to the classic ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

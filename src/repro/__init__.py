@@ -1,0 +1,60 @@
+"""repro -- reproduction of "Worst-Case Delay Control in Multi-Group Overlay Networks".
+
+A production-quality Python library reproducing Tu, Sreenan & Jia's
+adaptive (sigma, rho, lambda) traffic-control system for end-host
+multicast, together with every substrate the paper's evaluation needs:
+Cruz-style network calculus, a discrete-event/fluid traffic simulator,
+an underlay topology model, and the DSCT / NICE / capacity-aware
+overlay multicast trees.
+
+Quickstart
+----------
+>>> from repro import AdaptiveController, ArrivalEnvelope
+>>> flows = [ArrivalEnvelope(sigma=0.02, rho=0.28)] * 3   # 3 heavy flows
+>>> ctrl = AdaptiveController(flows)
+>>> ctrl.select_mode().value
+'sigma-rho-lambda'
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+scripts regenerating every figure and table of the paper.
+"""
+
+from repro.calculus import ArrivalEnvelope, LatencyRateServer
+from repro.core import (
+    AdaptiveController,
+    ControlMode,
+    SigmaRhoLambdaRegulator,
+    SigmaRhoRegulator,
+    StaggerPlan,
+    dsct_height_bound,
+    heterogeneous_threshold,
+    homogeneous_threshold,
+    lemma1_regulator_delay,
+    remark1_wdb_heterogeneous,
+    remark1_wdb_homogeneous,
+    theorem1_wdb_heterogeneous,
+    theorem2_wdb_homogeneous,
+)
+from repro.utils import PiecewiseLinearCurve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ArrivalEnvelope",
+    "LatencyRateServer",
+    "AdaptiveController",
+    "ControlMode",
+    "SigmaRhoRegulator",
+    "SigmaRhoLambdaRegulator",
+    "StaggerPlan",
+    "PiecewiseLinearCurve",
+    "homogeneous_threshold",
+    "heterogeneous_threshold",
+    "dsct_height_bound",
+    "lemma1_regulator_delay",
+    "theorem1_wdb_heterogeneous",
+    "theorem2_wdb_homogeneous",
+    "remark1_wdb_heterogeneous",
+    "remark1_wdb_homogeneous",
+]

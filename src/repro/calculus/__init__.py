@@ -1,0 +1,53 @@
+"""Network-calculus substrate (Cruz's (sigma, rho) calculus).
+
+The paper analyses worst-case delays with the deterministic network
+calculus of Cruz ("A Calculus for Network Delay", parts I & II), which
+it cites as [15-16].  This subpackage implements the pieces of that
+calculus the paper relies on:
+
+* :class:`~repro.calculus.envelope.ArrivalEnvelope` -- the
+  ``R ~ (sigma, rho)`` burstiness constraint, envelope arithmetic and
+  empirical envelope extraction from traces.
+* :mod:`repro.calculus.service` -- latency-rate service curves and the
+  classic delay/backlog bounds (horizontal/vertical deviation).
+* :mod:`repro.calculus.mux` -- worst-case delay bounds for the
+  work-conserving *general multiplexer* fed by regulated flows
+  (Remark 1 of the paper, i.e. equation (13) of Cruz part I).
+"""
+
+from repro.calculus.convolution import (
+    backlog_bound_curves,
+    delay_bound_curves,
+    min_plus_convolve,
+    min_plus_deconvolve,
+)
+from repro.calculus.envelope import ArrivalEnvelope, empirical_envelope
+from repro.calculus.mux import (
+    mux_backlog_bound,
+    mux_delay_bound_heterogeneous,
+    mux_delay_bound_homogeneous,
+    mux_is_stable,
+)
+from repro.calculus.service import (
+    LatencyRateServer,
+    backlog_bound,
+    delay_bound,
+    output_envelope,
+)
+
+__all__ = [
+    "min_plus_convolve",
+    "min_plus_deconvolve",
+    "delay_bound_curves",
+    "backlog_bound_curves",
+    "ArrivalEnvelope",
+    "empirical_envelope",
+    "LatencyRateServer",
+    "backlog_bound",
+    "delay_bound",
+    "output_envelope",
+    "mux_backlog_bound",
+    "mux_delay_bound_heterogeneous",
+    "mux_delay_bound_homogeneous",
+    "mux_is_stable",
+]

@@ -1,0 +1,128 @@
+"""(sigma, rho) arrival envelopes.
+
+The paper's traffic model is Cruz's burstiness constraint: a flow with
+instantaneous rate function ``R`` satisfies ``R ~ (sigma, rho)`` when
+
+.. math::
+
+    \\int_{t_1}^{t_2} R \\, dt \\le \\sigma + \\rho (t_2 - t_1)
+    \\qquad \\forall\\, t_2 \\ge t_1 .
+
+``sigma`` is the *burst data amount* and ``rho`` the *long-term average
+input rate* (Section III of the paper).  :class:`ArrivalEnvelope`
+represents one such constraint; it supports the arithmetic used in the
+theorems (aggregation of independent flows, scaling by link capacity)
+and conformance checks against measured cumulative curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.utils.piecewise import PiecewiseLinearCurve
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["ArrivalEnvelope", "empirical_envelope", "aggregate_envelope"]
+
+
+@dataclass(frozen=True)
+class ArrivalEnvelope:
+    """The burstiness constraint ``R ~ (sigma, rho)``.
+
+    Attributes
+    ----------
+    sigma:
+        Maximum burst size, in units of data (capacity-seconds when the
+        link is normalised to ``C = 1``).
+    rho:
+        Long-term average rate (dimensionless utilisation under the
+        ``C = 1`` convention).
+    """
+
+    sigma: float
+    rho: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.sigma, "sigma")
+        check_non_negative(self.rho, "rho")
+
+    # -- queries -------------------------------------------------------
+    def bound(self, interval: float) -> float:
+        """Maximum data admitted in any window of length ``interval``."""
+        check_non_negative(interval, "interval")
+        return self.sigma + self.rho * interval
+
+    def conforms(
+        self, curve: PiecewiseLinearCurve, tol: float = 1e-9
+    ) -> bool:
+        """Whether a measured cumulative curve satisfies this envelope."""
+        return curve.conforms(self.sigma, self.rho, tol=tol)
+
+    def violation(self, curve: PiecewiseLinearCurve) -> float:
+        """How far (in data units) the curve exceeds the envelope (0 if conformant)."""
+        return max(curve.min_sigma(self.rho) - self.sigma, 0.0)
+
+    def as_curve(self, horizon: float) -> PiecewiseLinearCurve:
+        """The envelope function ``gamma(t) = sigma + rho t`` on ``[0, horizon]``."""
+        return PiecewiseLinearCurve.affine(self.sigma, self.rho, horizon)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "ArrivalEnvelope") -> "ArrivalEnvelope":
+        """Envelope of the superposition of two independently constrained flows."""
+        if not isinstance(other, ArrivalEnvelope):
+            return NotImplemented
+        return ArrivalEnvelope(self.sigma + other.sigma, self.rho + other.rho)
+
+    def scaled(self, factor: float) -> "ArrivalEnvelope":
+        """Scale both parameters (e.g. de-normalising by a capacity ``C``)."""
+        check_positive(factor, "factor")
+        return ArrivalEnvelope(self.sigma * factor, self.rho * factor)
+
+    # -- convenience ---------------------------------------------------
+    def burst_duration(self) -> float:
+        """Time for a full burst to drain at rate ``rho`` (``sigma / rho``).
+
+        This is the *vacation period* ``V`` of the paper's
+        (sigma, rho, lambda) regulator, see
+        :class:`repro.core.regulator.SigmaRhoLambdaRegulator`.
+        """
+        if self.rho <= 0:
+            raise ValueError("burst_duration undefined for rho == 0")
+        return self.sigma / self.rho
+
+
+def aggregate_envelope(envelopes: Iterable[ArrivalEnvelope]) -> ArrivalEnvelope:
+    """Envelope of the superposition of independently constrained flows.
+
+    Used in Theorem 1 / Remark 1, where the multiplexer input is the sum
+    of ``K`` flows each constrained by ``(sigma_i, rho_i)``.
+    """
+    total_sigma = 0.0
+    total_rho = 0.0
+    count = 0
+    for env in envelopes:
+        total_sigma += env.sigma
+        total_rho += env.rho
+        count += 1
+    if count == 0:
+        raise ValueError("aggregate_envelope needs at least one envelope")
+    return ArrivalEnvelope(total_sigma, total_rho)
+
+
+def empirical_envelope(
+    curve: PiecewiseLinearCurve, rhos: Sequence[float]
+) -> list[ArrivalEnvelope]:
+    """Tightest (sigma, rho) envelopes of a measured curve for given rates.
+
+    For each candidate ``rho`` the minimal conformant ``sigma`` is
+    ``sup_{t1<=t2} [F(t2)-F(t1) - rho (t2-t1)]``
+    (:meth:`PiecewiseLinearCurve.min_sigma`).  Useful for characterising
+    the VBR video sources, whose (sigma, rho) description is what the
+    regulators consume.
+    """
+    result = []
+    for rho in rhos:
+        check_non_negative(rho, "rho")
+        result.append(ArrivalEnvelope(curve.min_sigma(rho), rho))
+    return result

@@ -1,0 +1,87 @@
+"""Analytic bounds for the work-conserving general multiplexer (MUX).
+
+The paper equips every end host with a *general MUX*: a work-conserving
+server of rate ``C`` that merges the flows arriving on its input links
+into the single output link, with an arbitrary (possibly priority)
+service discipline.  Remark 1 of the paper quotes the classic bound
+(eq. (13) of Cruz part I): with ``K`` inputs each constrained by
+``(sigma_i, rho_i)`` and ``sum rho_i <= C``, every bit leaves within
+
+.. math::
+
+    D_g = \\frac{\\sum_i \\sigma_i}{C - \\sum_i \\rho_i}
+
+of its arrival.  These functions implement that baseline (the
+``(sigma, rho)``-regulated system the paper improves upon) in both the
+heterogeneous and homogeneous forms, plus the matching backlog bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.calculus.envelope import ArrivalEnvelope, aggregate_envelope
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "mux_is_stable",
+    "mux_delay_bound_heterogeneous",
+    "mux_delay_bound_homogeneous",
+    "mux_backlog_bound",
+]
+
+
+def mux_is_stable(
+    envelopes: Iterable[ArrivalEnvelope], capacity: float = 1.0
+) -> bool:
+    """The paper's stability condition ``sum_i rho_i <= C``."""
+    check_positive(capacity, "capacity")
+    return sum(e.rho for e in envelopes) <= capacity + 1e-12
+
+
+def mux_delay_bound_heterogeneous(
+    envelopes: Sequence[ArrivalEnvelope], capacity: float = 1.0
+) -> float:
+    """Remark 1, heterogeneous form: ``D_g = sum(sigma_i) / (C - sum(rho_i))``.
+
+    Returns ``inf`` when the stability condition fails (the backlog, and
+    hence the worst-case delay, is unbounded).
+    """
+    check_positive(capacity, "capacity")
+    if not envelopes:
+        raise ValueError("at least one input envelope is required")
+    agg = aggregate_envelope(envelopes)
+    slack = capacity - agg.rho
+    if slack <= 0:
+        return float("inf")
+    return agg.sigma / slack
+
+
+def mux_delay_bound_homogeneous(
+    k: int, sigma: float, rho: float, capacity: float = 1.0
+) -> float:
+    """Remark 1, homogeneous form: ``D_g = K sigma0 / (C - K rho)``."""
+    check_positive_int(k, "k")
+    return mux_delay_bound_heterogeneous(
+        [ArrivalEnvelope(sigma, rho)] * k, capacity
+    )
+
+
+def mux_backlog_bound(
+    envelopes: Sequence[ArrivalEnvelope], capacity: float = 1.0
+) -> float:
+    """Worst-case backlog of the general MUX.
+
+    For a work-conserving server of rate ``C`` fed by the aggregate
+    ``(sum sigma_i, sum rho_i)`` envelope the backlog never exceeds the
+    aggregate burst ``sum sigma_i`` (with strictly positive slack the
+    server drains faster than the worst burst accumulates); without
+    stability it is unbounded.
+    """
+    check_positive(capacity, "capacity")
+    if not envelopes:
+        raise ValueError("at least one input envelope is required")
+    agg = aggregate_envelope(envelopes)
+    if agg.rho > capacity:
+        return float("inf")
+    return agg.sigma

@@ -1,0 +1,113 @@
+"""Service curves and the classic delay/backlog bounds.
+
+A *latency-rate* server ``beta_{R,T}(t) = R (t - T)^+`` guarantees that
+in any backlogged period the output lags the input by at most latency
+``T`` and is then served at rate at least ``R``.  The work-conserving
+multiplexer of the paper (service rate ``C = 1``) is the special case
+``T = 0, R = C``.
+
+For a flow constrained by an :class:`~repro.calculus.envelope.ArrivalEnvelope`
+``(sigma, rho)`` crossing a latency-rate server, the standard network
+calculus bounds are
+
+* delay: ``D <= T + sigma / R``  (horizontal deviation),
+* backlog: ``B <= sigma + rho T`` (vertical deviation),
+* output envelope: ``(sigma + rho T, rho)``.
+
+These are the building blocks used to sanity-check the simulator and to
+compose per-hop bounds along multicast paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.utils.piecewise import PiecewiseLinearCurve
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "LatencyRateServer",
+    "delay_bound",
+    "backlog_bound",
+    "output_envelope",
+]
+
+
+@dataclass(frozen=True)
+class LatencyRateServer:
+    """A latency-rate service curve ``beta_{R,T}(t) = R (t - T)^+``."""
+
+    rate: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+        check_non_negative(self.latency, "latency")
+
+    def as_curve(self, horizon: float) -> PiecewiseLinearCurve:
+        """The service curve on ``[0, horizon]``."""
+        check_positive(horizon, "horizon")
+        if self.latency >= horizon:
+            return PiecewiseLinearCurve([0.0, horizon], [0.0, 0.0])
+        return PiecewiseLinearCurve(
+            [0.0, self.latency, horizon],
+            [0.0, 0.0, self.rate * (horizon - self.latency)],
+        )
+
+    def concatenate(self, other: "LatencyRateServer") -> "LatencyRateServer":
+        """Min-plus convolution of two latency-rate servers.
+
+        ``beta_{R1,T1} (x) beta_{R2,T2} = beta_{min(R1,R2), T1+T2}`` --
+        the end-to-end service curve of two servers in tandem.  This is
+        how per-hop guarantees compose along a multicast path.
+        """
+        return LatencyRateServer(
+            rate=min(self.rate, other.rate),
+            latency=self.latency + other.latency,
+        )
+
+    def is_stable_for(self, envelope: ArrivalEnvelope) -> bool:
+        """Stability: sustained input rate below the service rate."""
+        return envelope.rho <= self.rate
+
+
+def delay_bound(envelope: ArrivalEnvelope, server: LatencyRateServer) -> float:
+    """Worst-case FIFO delay of ``envelope`` through ``server``.
+
+    ``D <= T + sigma / R``; requires stability (``rho <= R``), else the
+    delay is unbounded and ``inf`` is returned.
+    """
+    if not server.is_stable_for(envelope):
+        return float("inf")
+    return server.latency + envelope.sigma / server.rate
+
+
+def backlog_bound(envelope: ArrivalEnvelope, server: LatencyRateServer) -> float:
+    """Worst-case backlog of ``envelope`` through ``server``.
+
+    ``B <= sigma + rho T``; ``inf`` if unstable.
+    """
+    if not server.is_stable_for(envelope):
+        return float("inf")
+    return envelope.sigma + envelope.rho * server.latency
+
+
+def output_envelope(
+    envelope: ArrivalEnvelope, server: LatencyRateServer
+) -> ArrivalEnvelope:
+    """Envelope of the departure process: ``(sigma + rho T, rho)``.
+
+    The burst grows by ``rho * T`` because traffic may pile up during
+    the server latency; the sustained rate is preserved.  This is the
+    per-hop transformation used when chaining hops of a multicast tree
+    analytically (Theorem 7's proof walks the longest path hop by hop).
+    """
+    if not server.is_stable_for(envelope):
+        raise ValueError(
+            "output envelope undefined for an unstable server "
+            f"(rho={envelope.rho} > rate={server.rate})"
+        )
+    return ArrivalEnvelope(
+        envelope.sigma + envelope.rho * server.latency, envelope.rho
+    )

@@ -1,0 +1,88 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.regulator` -- the classical (sigma, rho) regulator
+  and the novel (sigma, rho, lambda) *vacation* regulator of Section III
+  (working period ``W = sigma/(1-rho)``, vacation ``V = sigma/rho``,
+  control factor ``lambda = 1/(1-rho)``).
+* :mod:`repro.core.adaptive` -- the Adaptive Control Algorithm: measure
+  the average input rate of the flows entering a host, compare with the
+  rate threshold ``rho*`` and switch between the two regulator families;
+  build the staggered (round-robin) vacation schedule.
+* :mod:`repro.core.threshold` -- existence/value of ``rho*``
+  (Theorems 3 & 4): exact numerical solutions, the paper's closed-form
+  quadratic, and the asymptotic control ranges ``2 - sqrt(3)`` and
+  ``(5 - sqrt(21))/2``.
+* :mod:`repro.core.delay_bounds` -- Lemma 1, Theorems 1/2/5/6, Remark 1.
+* :mod:`repro.core.multicast_bounds` -- Lemma 2 (DSCT height bound),
+  Theorems 7/8, Remark 2.
+"""
+
+from repro.core.adaptive import AdaptiveController, ControlMode, StaggerPlan
+from repro.core.delay_bounds import (
+    improvement_ratio_heterogeneous,
+    improvement_ratio_homogeneous,
+    lemma1_regulator_delay,
+    reduced_sigma_star,
+    remark1_wdb_heterogeneous,
+    remark1_wdb_homogeneous,
+    theorem1_wdb_heterogeneous,
+    theorem2_wdb_homogeneous,
+    theorem5_ratio_lower_bound,
+)
+from repro.core.priority import (
+    PriorityStaggerPlan,
+    build_priority_stagger_plan,
+    priority_delay_bound,
+)
+from repro.core.multicast_bounds import (
+    dsct_height_bound,
+    remark2_multicast_wdb_heterogeneous,
+    remark2_multicast_wdb_homogeneous,
+    theorem7_multicast_wdb_heterogeneous,
+    theorem8_multicast_wdb_homogeneous,
+)
+from repro.core.regulator import (
+    Regulator,
+    SigmaRhoLambdaRegulator,
+    SigmaRhoRegulator,
+    control_factor,
+)
+from repro.core.threshold import (
+    control_range_heterogeneous_limit,
+    control_range_homogeneous_limit,
+    heterogeneous_threshold,
+    heterogeneous_threshold_quadratic,
+    homogeneous_threshold,
+)
+
+__all__ = [
+    "AdaptiveController",
+    "ControlMode",
+    "StaggerPlan",
+    "Regulator",
+    "SigmaRhoRegulator",
+    "SigmaRhoLambdaRegulator",
+    "control_factor",
+    "lemma1_regulator_delay",
+    "reduced_sigma_star",
+    "theorem1_wdb_heterogeneous",
+    "theorem2_wdb_homogeneous",
+    "remark1_wdb_heterogeneous",
+    "remark1_wdb_homogeneous",
+    "improvement_ratio_heterogeneous",
+    "improvement_ratio_homogeneous",
+    "theorem5_ratio_lower_bound",
+    "homogeneous_threshold",
+    "heterogeneous_threshold",
+    "heterogeneous_threshold_quadratic",
+    "control_range_homogeneous_limit",
+    "control_range_heterogeneous_limit",
+    "dsct_height_bound",
+    "PriorityStaggerPlan",
+    "build_priority_stagger_plan",
+    "priority_delay_bound",
+    "theorem7_multicast_wdb_heterogeneous",
+    "theorem8_multicast_wdb_homogeneous",
+    "remark2_multicast_wdb_heterogeneous",
+    "remark2_multicast_wdb_homogeneous",
+]

@@ -1,0 +1,247 @@
+"""Worst-case delay bounds for the single regulated end host (Section IV).
+
+Every closed-form result of Section IV is implemented here:
+
+* **Lemma 1** -- delay through one (sigma, rho, lambda) regulator fed a
+  ``(sigma*, rho)``-constrained flow.
+* **Theorem 1** -- WDB of a general MUX whose K heterogeneous inputs are
+  shaped by ``(sigma_i*, rho_i, lambda_i)`` regulators, where
+  ``sigma_i* = rho_i (1 - rho_i) min_j sigma_j / (rho_j (1 - rho_j))``
+  equalises the regulator periods so the round-robin stagger tiles.
+* **Theorem 2** -- the homogeneous special case.
+* **Remark 1** -- the (sigma, rho)-regulated baselines (Cruz eq. (13)),
+  re-exported from :mod:`repro.calculus.mux`.
+* **Theorems 5/6** -- the ``O(K^n)`` improvement ratio of the new
+  regulator over the baseline in the heavy-load band
+  ``rho_bar in [1/K - 1/K^(n+1), 1/K)``.
+
+All rates are utilisations of the normalised capacity ``C = 1``; pass
+``capacity=`` to de-normalise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.calculus.mux import (
+    mux_delay_bound_heterogeneous,
+    mux_delay_bound_homogeneous,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_same_length,
+)
+
+__all__ = [
+    "lemma1_regulator_delay",
+    "reduced_sigma_star",
+    "theorem1_wdb_heterogeneous",
+    "theorem2_wdb_homogeneous",
+    "remark1_wdb_heterogeneous",
+    "remark1_wdb_homogeneous",
+    "improvement_ratio_heterogeneous",
+    "improvement_ratio_homogeneous",
+    "theorem5_ratio_lower_bound",
+    "theorem5_band",
+]
+
+
+# ----------------------------------------------------------------------
+# Lemma 1
+# ----------------------------------------------------------------------
+def lemma1_regulator_delay(
+    sigma_star: float, sigma: float, rho: float, lam: float | None = None
+) -> float:
+    """Lemma 1: ``D = (sigma* - sigma)+ / rho + 2 lambda sigma / rho``.
+
+    Delay incurred by a ``(sigma*, rho)``-constrained input crossing a
+    ``(sigma, rho, lambda)`` regulator.  ``lam`` defaults to the minimum
+    feasible ``1/(1-rho)``.
+    """
+    check_non_negative(sigma_star, "sigma_star")
+    check_positive(sigma, "sigma")
+    check_in_range(rho, "rho", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if lam is None:
+        lam = 1.0 / (1.0 - rho)
+    check_positive(lam, "lam")
+    excess = max(sigma_star - sigma, 0.0)
+    return excess / rho + 2.0 * lam * sigma / rho
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 (heterogeneous MUX)
+# ----------------------------------------------------------------------
+def reduced_sigma_star(
+    sigmas: Sequence[float], rhos: Sequence[float]
+) -> list[float]:
+    """The reduced bursts ``sigma_i*`` of Theorem 1.
+
+    ``sigma_i* = rho_i (1 - rho_i) * min_j [ sigma_j / (rho_j (1 - rho_j)) ]``.
+
+    These are the burst budgets the adaptive controller assigns to each
+    flow's (sigma, rho, lambda) regulator.  They make every regulator's
+    period ``sigma_i* lambda_i / rho_i = min_j sigma_j/(rho_j(1-rho_j))``
+    identical, which is what lets the controller stagger the working
+    periods round-robin without overlap.
+    """
+    check_same_length("sigmas", sigmas, "rhos", rhos)
+    if not sigmas:
+        raise ValueError("at least one flow is required")
+    for s, r in zip(sigmas, rhos):
+        check_positive(s, "sigma_i")
+        check_in_range(r, "rho_i", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    common_period = min(s / (r * (1.0 - r)) for s, r in zip(sigmas, rhos))
+    return [r * (1.0 - r) * common_period for r in rhos]
+
+
+def theorem1_wdb_heterogeneous(
+    sigmas: Sequence[float],
+    rhos: Sequence[float],
+    capacity: float = 1.0,
+) -> float:
+    """Theorem 1: WDB of the (sigma_i*, rho_i, lambda_i)-regulated MUX.
+
+    ``D_hat_g = sum_i sigma_i*/(1 - rho_i)
+    + 2 min_i sigma_i / (rho_i (1 - rho_i))
+    + max_i (sigma_i - sigma_i*) / rho_i``.
+
+    Requires the stability condition ``sum rho_i <= C``; the bound holds
+    for any work-conserving ("general") service discipline.
+    """
+    check_positive(capacity, "capacity")
+    check_same_length("sigmas", sigmas, "rhos", rhos)
+    if not sigmas:
+        raise ValueError("at least one flow is required")
+    # Normalise to C = 1 (Section III: release the assumption by scaling).
+    sig = [s / capacity for s in sigmas]
+    rho = [r / capacity for r in rhos]
+    if sum(rho) > 1.0 + 1e-12:
+        return float("inf")
+    stars = reduced_sigma_star(sig, rho)
+    mux_term = sum(s_star / (1.0 - r) for s_star, r in zip(stars, rho))
+    stagger_term = 2.0 * min(s / (r * (1.0 - r)) for s, r in zip(sig, rho))
+    excess_term = max(
+        (s - s_star) / r for s, s_star, r in zip(sig, stars, rho)
+    )
+    return mux_term + stagger_term + max(excess_term, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 (homogeneous MUX)
+# ----------------------------------------------------------------------
+def theorem2_wdb_homogeneous(
+    k: int,
+    sigma: float,
+    rho: float,
+    sigma0: float | None = None,
+    capacity: float = 1.0,
+) -> float:
+    """Theorem 2: ``D_hat_g = K sigma/(1-rho) + (sigma0-sigma)+/rho + 2 lambda sigma/rho``.
+
+    ``sigma`` is the regulator burst budget, ``sigma0`` the input flows'
+    actual burst (defaults to ``sigma``); ``rho <= 1/K`` is required.
+    """
+    check_positive_int(k, "k")
+    check_positive(capacity, "capacity")
+    sigma = check_positive(sigma, "sigma") / capacity
+    rho = check_positive(rho, "rho") / capacity
+    check_in_range(rho, "rho/C", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if sigma0 is None:
+        sigma0 = sigma
+    else:
+        sigma0 = check_positive(sigma0, "sigma0") / capacity
+    if k * rho > 1.0 + 1e-12:
+        return float("inf")
+    lam = 1.0 / (1.0 - rho)
+    mux_term = k * sigma / (1.0 - rho)
+    excess_term = max(sigma0 - sigma, 0.0) / rho
+    regulator_term = 2.0 * lam * sigma / rho
+    return mux_term + excess_term + regulator_term
+
+
+# ----------------------------------------------------------------------
+# Remark 1 (baselines)
+# ----------------------------------------------------------------------
+def remark1_wdb_heterogeneous(
+    sigmas: Sequence[float], rhos: Sequence[float], capacity: float = 1.0
+) -> float:
+    """Remark 1 baseline: ``D_g = sum sigma_i / (C - sum rho_i)``."""
+    check_same_length("sigmas", sigmas, "rhos", rhos)
+    envs = [ArrivalEnvelope(s, r) for s, r in zip(sigmas, rhos)]
+    return mux_delay_bound_heterogeneous(envs, capacity)
+
+
+def remark1_wdb_homogeneous(
+    k: int, sigma: float, rho: float, capacity: float = 1.0
+) -> float:
+    """Remark 1 baseline: ``D_g = K sigma0 / (C - K rho)``."""
+    return mux_delay_bound_homogeneous(k, sigma, rho, capacity)
+
+
+# ----------------------------------------------------------------------
+# Theorems 5/6 (improvement ratio)
+# ----------------------------------------------------------------------
+def improvement_ratio_homogeneous(
+    k: int, sigma: float, rho: float, capacity: float = 1.0
+) -> float:
+    """``D_g / D_hat_g`` for K homogeneous flows at per-flow rate ``rho``.
+
+    Values above 1 mean the (sigma, rho, lambda) regulator achieves the
+    smaller worst-case delay bound (the heavy-load regime of Theorem 6).
+    """
+    d_baseline = remark1_wdb_homogeneous(k, sigma, rho, capacity)
+    d_new = theorem2_wdb_homogeneous(k, sigma, rho, capacity=capacity)
+    if d_new == 0.0:
+        return float("inf")
+    return d_baseline / d_new
+
+
+def improvement_ratio_heterogeneous(
+    sigmas: Sequence[float], rhos: Sequence[float], capacity: float = 1.0
+) -> float:
+    """``D_g / D_hat_g`` for heterogeneous flows (Theorem 5's ratio)."""
+    d_baseline = remark1_wdb_heterogeneous(sigmas, rhos, capacity)
+    d_new = theorem1_wdb_heterogeneous(sigmas, rhos, capacity)
+    if d_new == 0.0:
+        return float("inf")
+    return d_baseline / d_new
+
+
+def theorem5_band(k: int, n: int) -> tuple[float, float]:
+    """The heavy-load band ``[1/K - 1/K^(n+1), 1/K)`` of Theorems 5/6."""
+    check_positive_int(k, "k")
+    check_positive_int(n, "n")
+    return (1.0 / k - 1.0 / k ** (n + 1), 1.0 / k)
+
+
+def theorem5_ratio_lower_bound(k: int, n: int) -> float:
+    """The explicit lower bound from Theorem 5's proof.
+
+    For any ``rho_bar`` in the band of :func:`theorem5_band`,
+    ``D_g / D_hat_g >= (1 - 1/K^n)(1 - 1/K) K^n / 4 = O(K^n)``.
+    """
+    check_positive_int(k, "k")
+    check_positive_int(n, "n")
+    if k < 2:
+        raise ValueError("Theorem 5 requires K >= 2")
+    return (1.0 - k ** (-n)) * (1.0 - 1.0 / k) * (k**n) / 4.0
+
+
+def theorem5_ratio_intermediate(k: int, rho_bar: float) -> float:
+    """The intermediate ratio bound from Theorem 5's proof.
+
+    ``D_g/D_hat_g >= K rho_bar (1 - rho_bar) /
+    [(1 - K rho_bar)(3 + (K-1) rho_bar)]`` -- useful for checking the
+    proof chain numerically at any ``rho_bar`` in ``(0, 1/K)``.
+    """
+    check_positive_int(k, "k")
+    check_in_range(
+        rho_bar, "rho_bar", 0.0, 1.0 / k, inclusive_low=False, inclusive_high=False
+    )
+    num = k * rho_bar * (1.0 - rho_bar)
+    den = (1.0 - k * rho_bar) * (3.0 + (k - 1.0) * rho_bar)
+    return num / den

@@ -1,0 +1,171 @@
+"""Worst-case delay bounds for the regulated EMcast tree (Section V).
+
+* **Lemma 2** -- height bound of a DSCT tree over ``n`` members with
+  cluster size base ``k``: ``H = ceil( log_k [k + (n - j1)(k - 1)] )``.
+* **Theorem 7** -- multicast WDB with heterogeneous flows: the per-hop
+  Theorem 1 bound accumulated over the ``H_hat - 1`` overlay hops of the
+  longest path in the tallest group tree.
+* **Theorem 8** -- the homogeneous special case (per-hop Theorem 2).
+* **Remark 2** -- the (sigma, rho)-regulated baselines: per-hop Remark 1
+  times ``H_hat - 1``.
+
+The multicast bounds mirror the single-host bounds scaled by the number
+of overlay hops; the threshold ``rho*`` and the ``O(K^n)`` improvement
+ratio are therefore unchanged from Theorems 3-6 (parts ii-iv of
+Theorems 7/8 simply carry them over), and we expose them by delegation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.delay_bounds import (
+    remark1_wdb_heterogeneous,
+    remark1_wdb_homogeneous,
+    theorem1_wdb_heterogeneous,
+    theorem2_wdb_homogeneous,
+)
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "dsct_height_bound",
+    "theorem7_multicast_wdb_heterogeneous",
+    "theorem8_multicast_wdb_homogeneous",
+    "remark2_multicast_wdb_heterogeneous",
+    "remark2_multicast_wdb_homogeneous",
+]
+
+
+def dsct_height_bound(n: int, k: int = 3, j1: int = 0) -> int:
+    """Lemma 2: upper bound on the DSCT tree height (layer count).
+
+    Parameters
+    ----------
+    n:
+        Group size (number of members), ``n >= 1``.
+    k:
+        Cluster size base; intra/inter cluster sizes are random in
+        ``[k, 3k - 1]`` and the tree is tallest when every cluster has
+        exactly ``k`` members.  The paper (and [8]) set ``k = 3``.
+    j1:
+        Number of leftover members in the lowest layer,
+        ``0 <= j1 <= k - 1``.  The paper's bound is stated for the
+        worst-case packing; ``j1 = 0`` gives the loosest (largest) value.
+
+    Returns
+    -------
+    int
+        ``H = ceil( log_k [k + (n - j1)(k - 1)] )``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(k, "k")
+    if k < 2:
+        raise ValueError(f"cluster size base k must be >= 2, got {k}")
+    check_non_negative_int(j1, "j1")
+    if j1 > k - 1:
+        raise ValueError(f"j1 must be <= k - 1 = {k - 1}, got {j1}")
+    if j1 >= n:
+        raise ValueError(f"j1 must be < n = {n}, got {j1}")
+    if n == 1:
+        # A lone member is a single layer; the closed form is derived
+        # for hierarchies with at least one clustering step.
+        return 1
+    arg = k + (n - j1) * (k - 1)
+    return int(math.ceil(math.log(arg) / math.log(k)))
+
+
+def _check_height(h_hat: int) -> int:
+    check_positive_int(h_hat, "h_hat")
+    return h_hat
+
+
+def theorem7_multicast_wdb_heterogeneous(
+    h_hat: int,
+    sigmas: Sequence[float],
+    rhos: Sequence[float],
+    capacity: float = 1.0,
+    per_hop_propagation: float = 0.0,
+) -> float:
+    """Theorem 7(i): multicast WDB, heterogeneous flows.
+
+    ``D_hat_mg = (H_hat - 1) * [Theorem-1 per-hop bound]`` where
+    ``H_hat = max_I H_I`` is the tallest group tree's height bound
+    (Lemma 2).  ``per_hop_propagation`` optionally adds a fixed
+    underlay propagation delay per overlay hop (zero in the paper's
+    normalised analysis; the simulators measure it explicitly).
+    """
+    h_hat = _check_height(h_hat)
+    check_positive(capacity, "capacity")
+    hops = max(h_hat - 1, 0)
+    per_hop = theorem1_wdb_heterogeneous(sigmas, rhos, capacity)
+    return hops * (per_hop + per_hop_propagation)
+
+
+def theorem8_multicast_wdb_homogeneous(
+    h_hat: int,
+    k: int,
+    sigma: float,
+    rho: float,
+    sigma0: float | None = None,
+    capacity: float = 1.0,
+    per_hop_propagation: float = 0.0,
+) -> float:
+    """Theorem 8(i): multicast WDB, homogeneous flows.
+
+    ``D_hat_mg = (H_hat-1) K sigma/(1-rho) + (H_hat-1)(sigma0-sigma)+/rho
+    + 2 (H_hat-1) lambda sigma / rho``.
+    """
+    h_hat = _check_height(h_hat)
+    hops = max(h_hat - 1, 0)
+    per_hop = theorem2_wdb_homogeneous(k, sigma, rho, sigma0, capacity)
+    return hops * (per_hop + per_hop_propagation)
+
+
+def remark2_multicast_wdb_heterogeneous(
+    h_hat: int,
+    sigmas: Sequence[float],
+    rhos: Sequence[float],
+    capacity: float = 1.0,
+    per_hop_propagation: float = 0.0,
+) -> float:
+    """Remark 2 baseline: ``D_mg = (H_hat - 1) sum sigma_i / (C - sum rho_i)``."""
+    h_hat = _check_height(h_hat)
+    hops = max(h_hat - 1, 0)
+    per_hop = remark1_wdb_heterogeneous(sigmas, rhos, capacity)
+    return hops * (per_hop + per_hop_propagation)
+
+
+def remark2_multicast_wdb_homogeneous(
+    h_hat: int,
+    k: int,
+    sigma: float,
+    rho: float,
+    capacity: float = 1.0,
+    per_hop_propagation: float = 0.0,
+) -> float:
+    """Remark 2 baseline: ``D_mg = (H_hat - 1) K sigma0 / (C - K rho)``."""
+    h_hat = _check_height(h_hat)
+    hops = max(h_hat - 1, 0)
+    per_hop = remark1_wdb_homogeneous(k, sigma, rho, capacity)
+    return hops * (per_hop + per_hop_propagation)
+
+
+def multicast_improvement_ratio_homogeneous(
+    h_hat: int, k: int, sigma: float, rho: float, capacity: float = 1.0
+) -> float:
+    """Theorem 8(iv)'s ratio ``D_mg / D_hat_mg``.
+
+    With zero propagation both bounds scale by the same ``(H_hat - 1)``,
+    so the ratio equals the single-host ratio of Theorem 6 -- which is
+    exactly why parts (ii)-(iv) of Theorems 7/8 carry over unchanged.
+    """
+    num = remark2_multicast_wdb_homogeneous(h_hat, k, sigma, rho, capacity)
+    den = theorem8_multicast_wdb_homogeneous(h_hat, k, sigma, rho, capacity=capacity)
+    if den == 0.0:
+        return float("inf")
+    return num / den

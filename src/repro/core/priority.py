@@ -1,0 +1,219 @@
+"""Priority-extended (sigma, rho, lambda, w) regulation.
+
+The paper's conclusion sketches the extension this module implements:
+"When the traffic priority is considered, we should extend our
+algorithm to deal with the flows with different priorities.  For
+example, adding new parameters into (sigma, rho, lambda) regulator to
+enable it to recognize and process flows with different priorities."
+
+Mechanism: **window splitting**.  In the plain stagger plan every flow
+gets one working window of length ``W_i`` per common period ``P``; the
+worst-case wait for a bit is dominated by one full vacation
+(``~ P - W_i``).  A flow with integer priority weight ``w_i >= 1``
+instead receives ``w_i`` sub-windows of length ``W_i / w_i`` spread
+evenly across the period.  Its throughput share is unchanged (the
+envelope it presents to the MUX is preserved -- the conservation
+argument of Section III applies per sub-window), but the longest time
+it can be blocked shrinks to about ``(P - W_i) / w_i``: the delay bound
+scales inversely with the weight.
+
+The fluid realisation reuses the periodic on-time kernel once per
+sub-window; everything composes with the existing MUX stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.adaptive import AdaptiveController
+from repro.core.delay_bounds import reduced_sigma_star
+from repro.core.regulator import SigmaRhoLambdaRegulator
+from repro.simulation.fluid import fluid_on_time, fluid_work_conserving
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "PriorityStaggerPlan",
+    "build_priority_stagger_plan",
+    "priority_delay_bound",
+    "fluid_priority_vacation_regulator",
+]
+
+
+@dataclass(frozen=True)
+class PriorityStaggerPlan:
+    """A stagger plan whose flows may hold several sub-windows per period.
+
+    Attributes
+    ----------
+    regulators:
+        Per-flow (sigma, rho, lambda) parameter objects (on the reduced
+        bursts ``sigma_i*``).
+    weights:
+        Integer priority weights ``w_i >= 1``; flow ``i`` gets ``w_i``
+        sub-windows of length ``W_i / w_i`` per period.
+    sub_offsets:
+        ``sub_offsets[i]`` -- tuple of the flow's sub-window start
+        offsets within the common period.
+    period:
+        The common regulator period.
+    """
+
+    regulators: tuple[SigmaRhoLambdaRegulator, ...]
+    weights: tuple[int, ...]
+    sub_offsets: tuple[tuple[float, ...], ...]
+    period: float
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.regulators) == len(self.weights) == len(self.sub_offsets)
+        ):
+            raise ValueError("regulators, weights and sub_offsets must align")
+        for w, offs in zip(self.weights, self.sub_offsets):
+            if len(offs) != w:
+                raise ValueError("each flow needs exactly w_i sub-offsets")
+        total_work = sum(r.working_period for r in self.regulators)
+        if total_work > self.period * (1 + 1e-9):
+            raise ValueError("working periods exceed the period; unstable host")
+
+    def sub_window_length(self, flow: int) -> float:
+        return self.regulators[flow].working_period / self.weights[flow]
+
+    def windows_overlap(self) -> bool:
+        """Check pairwise overlap of all sub-windows within one period."""
+        spans = []
+        for i, offs in enumerate(self.sub_offsets):
+            w = self.sub_window_length(i)
+            for o in offs:
+                spans.append((o % self.period, (o % self.period) + w))
+        spans.sort()
+        for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            if s1 < e0 - 1e-12:
+                return True
+        if spans and spans[-1][1] - self.period > spans[0][0] + 1e-12:
+            return True
+        return False
+
+
+def build_priority_stagger_plan(
+    envelopes: Sequence[ArrivalEnvelope],
+    weights: Sequence[int],
+    capacity: float = 1.0,
+) -> PriorityStaggerPlan:
+    """Build a priority plan: ``w_i`` sub-windows per flow per period.
+
+    Scheduling: the period is cut into ``lcm``-style slots by walking a
+    round-robin over every flow's sub-windows in weight order; the
+    resulting sub-windows tile without overlap because the total work
+    per period is unchanged (``sum W_i <= P`` under stability).
+    """
+    if len(envelopes) != len(weights):
+        raise ValueError("envelopes and weights must align")
+    check_positive(capacity, "capacity")
+    for w in weights:
+        check_positive_int(w, "weight")
+    controller = AdaptiveController(envelopes, capacity)
+    if not controller.is_stable:
+        raise ValueError("stability condition violated (sum rho_i > C)")
+    sigmas = [e.sigma for e in envelopes]
+    rhos = [e.rho / capacity for e in envelopes]
+    stars = reduced_sigma_star(sigmas, rhos)
+    regulators = tuple(
+        SigmaRhoLambdaRegulator(s, r) for s, r in zip(stars, rhos)
+    )
+    period = regulators[0].regulator_period
+
+    # Allocation: interleave one sub-window of every flow, repeating
+    # until each flow has placed its w_i sub-windows; the gap between a
+    # flow's consecutive sub-windows is then ~P / w_i.  Offsets are laid
+    # out greedily in slot order.
+    max_w = max(weights)
+    slot_cursor = 0.0
+    sub_offsets: list[list[float]] = [[] for _ in envelopes]
+    for round_idx in range(max_w):
+        for i, (reg, w) in enumerate(zip(regulators, weights)):
+            if round_idx >= w:
+                continue
+            length = reg.working_period / w
+            sub_offsets[i].append(slot_cursor)
+            slot_cursor += length
+    # Spread the rounds across the period so a flow's sub-windows are
+    # roughly evenly spaced: scale each round's block into its share.
+    total_work = slot_cursor
+    if total_work > 0 and total_work < period:
+        # Insert idle slack between rounds proportionally.
+        stretch = period / total_work
+        sub_offsets = [
+            [o * stretch for o in offs] for offs in sub_offsets
+        ]
+    return PriorityStaggerPlan(
+        regulators=regulators,
+        weights=tuple(int(w) for w in weights),
+        sub_offsets=tuple(tuple(o) for o in sub_offsets),
+        period=period,
+    )
+
+
+def max_service_gap(plan: PriorityStaggerPlan, flow: int) -> float:
+    """Largest start-to-start distance between consecutive sub-windows.
+
+    Computed from the *constructed* schedule (wrapping around the
+    period), so the delay bound below holds for any layout, evenly
+    spaced or not.  With a single window the gap is the full period.
+    """
+    offs = sorted(o % plan.period for o in plan.sub_offsets[flow])
+    if len(offs) == 1:
+        return plan.period
+    gaps = [b - a for a, b in zip(offs, offs[1:])]
+    gaps.append(offs[0] + plan.period - offs[-1])
+    return max(gaps)
+
+
+def priority_delay_bound(
+    plan: PriorityStaggerPlan, flow: int, sigma_input: float | None = None
+) -> float:
+    """Lemma-1-style bound for a weighted flow.
+
+    Between two consecutive sub-window starts (distance at most
+    ``g = max_service_gap``), the flow accumulates at most
+    ``sigma + rho g`` of backlog; sub-windows then drain it at the
+    long-run duty-cycle rate ``rho``.  Hence
+
+    ``D_i <= (sigma_in - sigma_i)+ / rho_i + sigma_i / rho_i + g_i``.
+
+    For a single window (``w_i = 1``, ``g = P``) this reduces to
+    ``sigma/rho + P = (1 + lambda) sigma / rho`` -- Lemma 1's induction
+    invariant, slightly tighter than its ``2 lambda sigma / rho`` form.
+    As the weight grows, ``g -> P / w`` and the bound decreases towards
+    the fluid-rate limit ``sigma / rho``.
+    """
+    reg = plan.regulators[flow]
+    excess = 0.0
+    if sigma_input is not None and sigma_input > reg.sigma:
+        excess = (sigma_input - reg.sigma) / reg.rho
+    return excess + reg.sigma / reg.rho + max_service_gap(plan, flow)
+
+
+def fluid_priority_vacation_regulator(
+    arrivals_cum: np.ndarray,
+    t_grid: np.ndarray,
+    plan: PriorityStaggerPlan,
+    flow: int,
+    out_rate: float = 1.0,
+) -> np.ndarray:
+    """Fluid realisation: service available in every sub-window.
+
+    The cumulative on-time is the sum of the periodic on-times of the
+    flow's sub-windows (they never overlap within the flow by
+    construction), each with length ``W_i / w_i`` and the common period.
+    """
+    reg = plan.regulators[flow]
+    w = plan.weights[flow]
+    length = reg.working_period / w
+    on = np.zeros_like(t_grid)
+    for off in plan.sub_offsets[flow]:
+        on += fluid_on_time(t_grid, length, plan.period, off)
+    return fluid_work_conserving(arrivals_cum, out_rate * on)

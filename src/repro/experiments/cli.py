@@ -1,0 +1,161 @@
+"""Command-line entry point: ``repro-experiments <experiment>``.
+
+Regenerates any paper artefact from the shell::
+
+    repro-experiments fig4b            # Fig 4(b): 3 video streams, one host
+    repro-experiments fig6a --quick    # Fig 6(a) at reduced scale
+    repro-experiments table2           # Table II
+    repro-experiments theory           # thresholds + improvement ratios
+    repro-experiments all --quick      # everything, CI scale
+
+Output is plain text shaped like the paper's figures/tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import Fig4Config, Fig6Config, TableConfig
+from repro.experiments.multigroup import run_fig6
+from repro.experiments.report import format_series, render_table
+from repro.experiments.single_host import run_fig4
+from repro.experiments.theory import (
+    height_bound_table,
+    improvement_ratio_table,
+    threshold_table,
+)
+from repro.experiments.trees import run_tree_table
+from repro.workloads.profiles import AUDIO_MIX, HETEROGENEOUS_MIX, VIDEO_MIX
+
+_FIG_MIXES = {"a": AUDIO_MIX, "b": VIDEO_MIX, "c": HETEROGENEOUS_MIX}
+_TABLE_MIXES = {"1": "3xaudio", "2": "3xvideo", "3": "1video+2audio"}
+
+EXPERIMENTS = (
+    "fig4a", "fig4b", "fig4c",
+    "fig6a", "fig6b", "fig6c",
+    "table1", "table2", "table3",
+    "theory", "validate", "all",
+)
+
+
+def _print_validation(quick: bool) -> None:
+    from repro.experiments.validation import validate_bounds
+
+    cells = validate_bounds(
+        utilizations=(0.6, 0.9) if quick else (0.5, 0.7, 0.9),
+        horizon=5.0 if quick else 10.0,
+    )
+    headers = ["mix", "mode", "u", "measured", "bound", "tightness", "sound"]
+    rows = [
+        [c.mix_name, c.mode, c.utilization, c.measured, c.bound,
+         c.tightness, "yes" if c.sound else "NO"]
+        for c in cells
+    ]
+    print(render_table(headers, rows,
+                       title="== Measured vs analytic bounds =="))
+    unsound = [c for c in cells if not c.sound]
+    print(f"unsound cells: {len(unsound)}")
+
+
+def _print_fig4(panel: str, quick: bool) -> None:
+    config = Fig4Config.quick() if quick else Fig4Config()
+    mix = _FIG_MIXES[panel]
+    res = run_fig4(mix, config)
+    print(f"== Figure 4({panel}) -- {res.mix_name}, single regulated host ==")
+    print("utilization:  " + " ".join(f"{u:7.2f}" for u in res.utilizations))
+    print(format_series("(sigma,rho) WDB [s]", res.utilizations, res.sigma_rho_series))
+    print(format_series("(sigma,rho,lambda) WDB [s]", res.utilizations,
+                        res.sigma_rho_lambda_series))
+    print(f"crossover (simulated threshold): {res.crossover}")
+    print(f"theoretical aggregate threshold: "
+          f"{res.theoretical_threshold_aggregate:.3f}")
+    print(f"max improvement: {res.max_improvement:.2f}x at "
+          f"{res.max_improvement_at}")
+
+
+def _print_fig6(panel: str, quick: bool) -> None:
+    config = Fig6Config.quick() if quick else Fig6Config()
+    mix = _FIG_MIXES[panel]
+    res = run_fig6(mix, config)
+    print(f"== Figure 6({panel}) -- {res.mix_name}, multi-group network ==")
+    print("utilization:  " + " ".join(f"{u:7.2f}" for u in res.utilizations))
+    for scheme in res.schemes:
+        print(format_series(scheme, res.utilizations, res.series(scheme)))
+    print(f"DSCT crossover (simulated threshold): {res.crossover_dsct}")
+    print(f"theoretical aggregate threshold: "
+          f"{res.theoretical_threshold_aggregate:.3f}")
+    print(f"max DSCT improvement: {res.max_improvement_dsct:.2f}x")
+
+
+def _print_table(which: str, quick: bool) -> None:
+    config = TableConfig.quick() if quick else TableConfig()
+    res = run_tree_table(_TABLE_MIXES[which], config)
+    headers = ["scheme", *(f"{u:.2f}" for u in res.utilizations)]
+    print(render_table(headers, res.rows(),
+                       title=f"== Table {which} -- {res.mix_name} =="))
+    print(f"capacity-aware grows with rate: {res.capacity_aware_grows}")
+    print(f"regulated height constant:      {res.regulated_constant}")
+
+
+def _print_theory() -> None:
+    tt = threshold_table()
+    headers = ["K", "hom K*rho*", "het K*rho*", "het quadratic"]
+    rows = [
+        [r["k"], r["homogeneous"], r["heterogeneous"], r["heterogeneous_quadratic"]]
+        for r in tt["rows"]
+    ]
+    print(render_table(headers, rows, title="== Rate thresholds (Theorems 3/4) ==",
+                       float_fmt="{:.4f}"))
+    print(f"limits: homogeneous {tt['limit_homogeneous']:.4f} "
+          f"(0.73C), heterogeneous {tt['limit_heterogeneous']:.4f} (0.79C)")
+    print(f"control ranges: hom {tt['control_range_homogeneous']:.4f} (~0.27), "
+          f"het {tt['control_range_heterogeneous']:.4f} (~0.21)")
+    irt = improvement_ratio_table()
+    headers = ["K", "n", "rho", "ratio Dg/D^g", "O(K^n) lower bound"]
+    rows = [[r["k"], r["n"], r["rho"], r["ratio"], r["lower_bound"]] for r in irt]
+    print(render_table(headers, rows,
+                       title="== Improvement ratio (Theorems 5/6) ==",
+                       float_fmt="{:.4f}"))
+    hbt = height_bound_table()
+    headers = ["n", "k", "height bound (Lemma 2)"]
+    rows = [[r["n"], r["k"], r["height_bound"]] for r in hbt]
+    print(render_table(headers, rows, title="== DSCT height bound (Lemma 2) =="))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale (shorter horizons, fewer sweep points)",
+    )
+    args = parser.parse_args(argv)
+    exp = args.experiment
+    if exp == "all":
+        for panel in "abc":
+            _print_fig4(panel, args.quick)
+        for panel in "abc":
+            _print_fig6(panel, args.quick)
+        for which in "123":
+            _print_table(which, args.quick)
+        _print_theory()
+        return 0
+    if exp.startswith("fig4"):
+        _print_fig4(exp[-1], args.quick)
+    elif exp.startswith("fig6"):
+        _print_fig6(exp[-1], args.quick)
+    elif exp.startswith("table"):
+        _print_table(exp[-1], args.quick)
+    elif exp == "theory":
+        _print_theory()
+    elif exp == "validate":
+        _print_validation(args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Experiment configuration objects.
+
+Defaults reproduce the paper's setups; the ``quick()`` constructors
+shrink horizons and sweeps for CI-speed runs (used by the test suite;
+the benchmark harness uses the full settings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PAPER_UTILIZATIONS", "Fig4Config", "Fig6Config", "TableConfig"]
+
+#: The x-axis of every figure/table: average input rate 0.35 .. 0.95.
+PAPER_UTILIZATIONS: tuple[float, ...] = tuple(
+    float(x) for x in np.round(np.arange(0.35, 0.951, 0.05), 2)
+)
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Single regulated end host sweep (Figures 4(a)-(c))."""
+
+    utilizations: Sequence[float] = PAPER_UTILIZATIONS
+    horizon: float = 30.0          #: seconds of injected traffic
+    dt: float = 5e-4               #: fluid grid resolution
+    capacity: float = 1.0
+    discipline: str = "adversarial"
+    backend: str = "fluid"         #: "fluid" or "des"
+    shared_streams: bool = True    #: same stream per group (paper setup)
+    seed: int = 2006               #: ICPP year; any fixed seed works
+    mtu: float = 2e-3
+
+    @classmethod
+    def quick(cls) -> "Fig4Config":
+        return cls(
+            utilizations=(0.35, 0.55, 0.75, 0.95),
+            horizon=6.0,
+            dt=1e-3,
+        )
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Multi-group network sweep (Figures 6(a)-(c))."""
+
+    n_hosts: int = 665
+    utilizations: Sequence[float] = PAPER_UTILIZATIONS
+    horizon: float = 20.0
+    dt: float = 1e-3
+    discipline: str = "adversarial"
+    shared_streams: bool = True
+    host_capacity_range: tuple[float, float] = (4.0, 10.0)
+    cluster_k: int = 3
+    seed: int = 2006
+    mtu: float = 2e-3
+    schemes: Sequence[str] = (
+        "capacity-aware-dsct",
+        "dsct+sigma-rho",
+        "dsct+sigma-rho-lambda",
+        "capacity-aware-nice",
+        "nice+sigma-rho",
+        "nice+sigma-rho-lambda",
+    )
+
+    @classmethod
+    def quick(cls) -> "Fig6Config":
+        return cls(
+            n_hosts=120,
+            utilizations=(0.35, 0.65, 0.95),
+            horizon=5.0,
+            dt=2e-3,
+        )
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """Tree layer number comparison (Tables I-III)."""
+
+    n_hosts: int = 665
+    n_groups: int = 3
+    utilizations: Sequence[float] = PAPER_UTILIZATIONS
+    host_capacity_range: tuple[float, float] = (4.0, 10.0)
+    cluster_k: int = 3
+    seed: int = 2006
+
+    @classmethod
+    def quick(cls) -> "TableConfig":
+        return cls(n_hosts=150, utilizations=(0.35, 0.65, 0.95))

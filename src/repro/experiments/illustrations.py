@@ -1,0 +1,145 @@
+"""Figures 1 and 2: the paper's illustrative examples, made executable.
+
+These two figures are not measurements, but their semantics are exactly
+checkable against our machinery, which closes the "every figure"
+inventory:
+
+* **Figure 1** -- the capacity-aware reconstruction example: five end
+  hosts with output capacity ``C = 5 rho``.  With one single-source
+  group, host 0 serves all four others directly
+  (``floor(5rho/rho) = 5`` children, height 2).  When the hosts join a
+  second group, the degree bound drops to ``floor(5rho/2rho) = 2`` and
+  the tree deepens (hosts 3 and 4 re-home under host 1, height 3).
+  :func:`fig1_example` rebuilds both trees from the degree-bound rule.
+
+* **Figure 2** -- the (sigma, rho, lambda) regulator operation: the
+  zig-zag output curve (slope 1 during working periods, flat during
+  vacations) against the input trend line ``sigma + rho t``.  "The
+  cross points of the zig-zag curve and the trend line indicate the
+  time that all of the blocked data from the flow are output" --
+  :func:`fig2_regulator_operation` generates both curves and locates
+  those touch points, which must occur exactly at the working-period
+  ends ``m P + W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.regulator import SigmaRhoLambdaRegulator
+from repro.overlay.capacity_aware import capacity_degree_bound
+from repro.overlay.tree import MulticastTree
+from repro.simulation.fluid import fluid_vacation_regulator
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["Fig1Result", "fig1_example", "Fig2Result", "fig2_regulator_operation"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """The two trees of Figure 1 and their degree bounds."""
+
+    one_group_tree: MulticastTree
+    two_group_tree: MulticastTree
+    degree_bound_one_group: int
+    degree_bound_two_groups: int
+
+
+def fig1_example(capacity_multiple: float = 5.0) -> Fig1Result:
+    """Rebuild Figure 1's five-host example from the degree-bound rule.
+
+    ``capacity_multiple`` is the host capacity in units of the flow rate
+    (the paper uses ``C = 5 rho``).  Trees are constructed greedily:
+    breadth-first filling with the computed fan-out, hosts in index
+    order (host 0 is where the flow enters) -- which yields exactly the
+    paper's two drawings.
+    """
+    check_positive(capacity_multiple, "capacity_multiple")
+    hosts = list(range(5))
+
+    def fill(degree: int) -> MulticastTree:
+        parent: dict[int, int] = {}
+        frontier = [0]
+        remaining = hosts[1:]
+        slots = {0: degree}
+        while remaining:
+            head = frontier.pop(0)
+            take = remaining[: slots[head]]
+            remaining = remaining[len(take):]
+            for h in take:
+                parent[h] = head
+                slots[h] = degree
+                frontier.append(h)
+        return MulticastTree(root=0, parent=parent)
+
+    d1 = capacity_degree_bound(capacity_multiple, 1.0)
+    d2 = capacity_degree_bound(capacity_multiple, 2.0)
+    return Fig1Result(
+        one_group_tree=fill(d1),
+        two_group_tree=fill(d2),
+        degree_bound_one_group=d1,
+        degree_bound_two_groups=d2,
+    )
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """The Figure-2 curves and their characteristic points."""
+
+    t: np.ndarray
+    input_cum: np.ndarray       #: the saturated-input cumulative curve
+    output_cum: np.ndarray      #: the zig-zag regulator output
+    trend: np.ndarray           #: sigma + rho t
+    touch_times: np.ndarray     #: where the zig-zag meets the trend line
+    working_period: float
+    vacation: float
+    period: float
+
+
+def fig2_regulator_operation(
+    sigma: float = 0.1,
+    rho: float = 0.25,
+    periods: int = 4,
+    samples_per_period: int = 2000,
+) -> Fig2Result:
+    """Generate Figure 2's curves for a (sigma, rho, lambda) regulator.
+
+    The input is the regulator's own envelope ``sigma + rho t`` (the
+    saturating arrival of the figure).  The output alternates slope-1
+    working segments and flat vacations; the points where it catches the
+    trend line are the instants "all of the blocked data from the flow
+    are output", which the construction places at the end of every
+    working period (``m P + W``).
+    """
+    check_positive(sigma, "sigma")
+    check_positive(rho, "rho")
+    check_positive_int(periods, "periods")
+    reg = SigmaRhoLambdaRegulator(sigma, rho)
+    horizon = periods * reg.regulator_period
+    n = periods * samples_per_period
+    t = np.linspace(0.0, horizon, n + 1)
+    trend = sigma + rho * t
+    # The saturated input: the full burst sigma at t=0, then rate rho.
+    input_cum = trend.copy()
+    input_cum[0] = 0.0  # nothing has arrived strictly before t=0
+    output_cum = fluid_vacation_regulator(input_cum, t, reg)
+    # Touch points: output reaches the trend line (within grid step).
+    gap = trend - output_cum
+    step = horizon / n
+    tol = 1.5 * step  # one grid cell of slope-1 catching up
+    touching = gap <= tol
+    # Extract the first touch instant of every contiguous touching run.
+    starts = np.nonzero(touching & ~np.roll(touching, 1))[0]
+    touch_times = t[starts]
+    return Fig2Result(
+        t=t,
+        input_cum=input_cum,
+        output_cum=output_cum,
+        trend=trend,
+        touch_times=touch_times,
+        working_period=reg.working_period,
+        vacation=reg.vacation,
+        period=reg.regulator_period,
+    )

@@ -1,0 +1,103 @@
+"""Rendering and series analysis for the experiment harness.
+
+The paper reports its results as delay-vs-rate curves (Figures 4/6) and
+layer-number tables (Tables I-III).  The helpers here turn sweep
+results into the same artefacts in ASCII, and extract the two numbers
+the paper quotes from every curve pair: the **crossover rate** (the
+simulated rate threshold) and the **maximum improvement factor**.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "find_crossover",
+    "max_improvement",
+    "render_table",
+    "format_series",
+]
+
+
+def find_crossover(
+    utilizations: Sequence[float],
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+) -> Optional[float]:
+    """First sweep rate at which ``candidate`` drops below ``baseline``.
+
+    This is how the paper reads its simulated rate threshold off the
+    figures ("the cross point of the two curves is 0.66").  Linear
+    interpolation refines the crossing between sweep points.  ``None``
+    if the curves never cross within the sweep.
+    """
+    if not (len(utilizations) == len(baseline) == len(candidate)):
+        raise ValueError("series must have equal lengths")
+    prev_gap = None
+    for i, (u, b, c) in enumerate(zip(utilizations, baseline, candidate)):
+        gap = c - b
+        if gap <= 0:
+            if i == 0 or prev_gap is None or prev_gap <= 0:
+                return float(u)
+            u0 = utilizations[i - 1]
+            frac = prev_gap / (prev_gap - gap)
+            return float(u0 + frac * (u - u0))
+        prev_gap = gap
+    return None
+
+
+def max_improvement(
+    utilizations: Sequence[float],
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+) -> tuple[Optional[float], float]:
+    """Largest ``baseline / candidate`` ratio and the rate attaining it.
+
+    The paper's "the maximum worst-case delay improvement ... is at
+    rho_bar = 0.8 and has the value 0.72/0.26 ~ 2.8".  Only sweep points
+    where the candidate actually wins (ratio > 1) are considered;
+    returns ``(None, 1.0)`` when it never wins.
+    """
+    best_u, best_ratio = None, 1.0
+    for u, b, c in zip(utilizations, baseline, candidate):
+        if c <= 0:
+            continue
+        ratio = b / c
+        if ratio > best_ratio:
+            best_u, best_ratio = float(u), float(ratio)
+    return best_u, best_ratio
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Plain-text table with aligned columns (the benches print these)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, utilizations: Sequence[float], values: Sequence[float]) -> str:
+    """One labelled series as a compact row (for figure-style output)."""
+    cells = " ".join(f"{v:7.3f}" for v in values)
+    return f"{name:>28s}: {cells}"

@@ -1,0 +1,101 @@
+"""Numeric validation of the theory results (Theorems 3-6, Lemma 2).
+
+These are the paper's analytical artefacts: the rate threshold values
+(``rho* = 0.73 C`` homogeneous / ``0.79 C`` heterogeneous), the control
+ranges (``2 - sqrt(3)`` / ``(5 - sqrt(21))/2``), and the ``O(K^n)``
+improvement ratio.  The tables here recompute them from the exact
+numeric crossings and the closed forms side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.delay_bounds import (
+    improvement_ratio_homogeneous,
+    theorem5_band,
+    theorem5_ratio_lower_bound,
+)
+from repro.core.multicast_bounds import dsct_height_bound
+from repro.core.threshold import (
+    control_range_heterogeneous_limit,
+    control_range_homogeneous_limit,
+    heterogeneous_threshold,
+    heterogeneous_threshold_quadratic,
+    homogeneous_threshold,
+)
+
+__all__ = [
+    "threshold_table",
+    "improvement_ratio_table",
+    "height_bound_table",
+]
+
+
+def threshold_table(ks: Sequence[int] = (2, 3, 5, 10, 30, 100, 1000)) -> dict:
+    """Aggregate thresholds ``K rho*`` vs K, plus the asymptotic limits.
+
+    Returns a dict with per-K rows and the two limits; the benches
+    render it and assert convergence to 0.732 / 0.791.
+    """
+    rows = []
+    for k in ks:
+        rows.append(
+            {
+                "k": k,
+                "homogeneous": homogeneous_threshold(k, aggregate=True),
+                "heterogeneous": heterogeneous_threshold(k, aggregate=True),
+                "heterogeneous_quadratic": heterogeneous_threshold_quadratic(
+                    k, aggregate=True
+                ),
+            }
+        )
+    return {
+        "rows": rows,
+        "limit_homogeneous": math.sqrt(3.0) - 1.0,
+        "limit_heterogeneous": (math.sqrt(21.0) - 3.0) / 2.0,
+        "control_range_homogeneous": control_range_homogeneous_limit(),
+        "control_range_heterogeneous": control_range_heterogeneous_limit(),
+    }
+
+
+def improvement_ratio_table(
+    ks: Sequence[int] = (2, 3, 5, 8),
+    ns: Sequence[int] = (1, 2),
+    sigma: float = 0.02,
+) -> list[dict]:
+    """Theorem 6's ratio inside the heavy-load band, vs the O(K^n) bound.
+
+    For each (K, n) the per-flow rate is placed at the band's midpoint
+    ``rho in [1/K - 1/K^(n+1), 1/K)`` and the exact bound ratio
+    ``D_g / D_hat_g`` is compared against Theorem 5's explicit lower
+    bound ``(1 - K^-n)(1 - 1/K) K^n / 4``.
+    """
+    rows = []
+    for k in ks:
+        for n in ns:
+            lo, hi = theorem5_band(k, n)
+            rho = (lo + hi) / 2.0
+            ratio = improvement_ratio_homogeneous(k, sigma, rho)
+            rows.append(
+                {
+                    "k": k,
+                    "n": n,
+                    "rho": rho,
+                    "ratio": ratio,
+                    "lower_bound": theorem5_ratio_lower_bound(k, n),
+                }
+            )
+    return rows
+
+
+def height_bound_table(
+    sizes: Sequence[int] = (10, 50, 100, 300, 665, 1000, 5000),
+    k: int = 3,
+) -> list[dict]:
+    """Lemma 2's height bound across group sizes (665 = the paper's n)."""
+    return [
+        {"n": n, "k": k, "height_bound": dsct_height_bound(n, k)}
+        for n in sizes
+    ]

@@ -1,0 +1,91 @@
+"""Tables I-III: tree layer numbers vs average input rate.
+
+The paper's point: the capacity-aware DSCT deepens as the traffic rate
+grows (fan-out shrinks with spare capacity), while DSCT with the
+(sigma, rho, lambda) regulator keeps its height *constant* -- the
+regulator frees the bottleneck without touching the tree.  One table
+per traffic mix (homogeneous audio, homogeneous video, heterogeneous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.config import TableConfig
+from repro.overlay.groups import MultiGroupNetwork
+from repro.topology.attach import attach_hosts
+from repro.topology.backbone import fig5_backbone
+from repro.utils.rng import derive_seed
+
+__all__ = ["TableResult", "run_tree_table"]
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """One Tables-I/II/III artefact."""
+
+    mix_name: str
+    utilizations: tuple[float, ...]
+    capacity_aware_heights: tuple[int, ...]
+    regulated_heights: tuple[int, ...]
+
+    def rows(self) -> list[list[object]]:
+        """Rows in the paper's layout (schemes as rows, rates as columns)."""
+        return [
+            ["Capacity-aware DSCT", *self.capacity_aware_heights],
+            ["DSCT with (sigma,rho,lambda) regulator", *self.regulated_heights],
+        ]
+
+    @property
+    def capacity_aware_grows(self) -> bool:
+        """The paper's qualitative claim for the capacity-aware row."""
+        return self.capacity_aware_heights[-1] > self.capacity_aware_heights[0]
+
+    @property
+    def regulated_constant(self) -> bool:
+        """The paper's qualitative claim for the regulated row."""
+        return len(set(self.regulated_heights)) == 1
+
+
+def run_tree_table(
+    mix_name: str, config: TableConfig | None = None
+) -> TableResult:
+    """Regenerate one of Tables I-III.
+
+    ``mix_name`` only labels the artefact: tree heights depend on the
+    aggregate rate (the x-axis), not on the stream composition, which is
+    why the paper's three tables share their regulated row per mix.
+    """
+    config = config or TableConfig()
+    backbone = fig5_backbone()
+    network = attach_hosts(
+        backbone, config.n_hosts, rng=derive_seed(config.seed, "attach")
+    )
+    mgn = MultiGroupNetwork.fully_joined(
+        network,
+        config.n_groups,
+        host_capacity_range=config.host_capacity_range,
+        rng=derive_seed(config.seed, "groups"),
+    )
+    # The regulated DSCT never rebuilds with rate: a single construction
+    # serves every sweep point (that is the point of the table).
+    regulated = mgn.build_all_trees("dsct", k=config.cluster_k, rng=config.seed)
+    reg_height = int(max(t.height for t in regulated))
+    ca_heights = []
+    for u in config.utilizations:
+        trees = mgn.build_all_trees(
+            "capacity-aware-dsct",
+            k=config.cluster_k,
+            aggregate_rate=float(u),
+            rng=derive_seed(config.seed, "table", mix_name, round(float(u), 4)),
+        )
+        ca_heights.append(int(max(t.height for t in trees)))
+    return TableResult(
+        mix_name=mix_name,
+        utilizations=tuple(float(u) for u in config.utilizations),
+        capacity_aware_heights=tuple(ca_heights),
+        regulated_heights=tuple([reg_height] * len(ca_heights)),
+    )

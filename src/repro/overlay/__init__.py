@@ -1,0 +1,46 @@
+"""Overlay multicast substrate: trees, clustering, protocols, groups.
+
+* :mod:`repro.overlay.tree` -- generic rooted multicast trees (parent
+  maps, heights, critical paths, link stress, validation).
+* :mod:`repro.overlay.clustering` -- RTT-based proximity clustering with
+  the paper's cluster sizes ``s in [k, 3k-1]`` and medoid core election;
+  shared by DSCT and NICE.
+* :mod:`repro.overlay.dsct` -- DSCT [Tu & Jia, GlobeCom'04]: a
+  location-aware hierarchy; members partition into *local domains* (one
+  per backbone router), intra-cluster layers grow inside each domain,
+  and the domains' local cores build inter-cluster layers on top.
+* :mod:`repro.overlay.nice` -- NICE [Banerjee et al., SIGCOMM'02]-style
+  layered clustering without location knowledge (the paper's baseline).
+* :mod:`repro.overlay.capacity_aware` -- capacity-aware variants: host
+  fan-out bounded by output capacity over aggregate flow rate (the
+  bottleneck-avoidance strategy the paper argues against).
+* :mod:`repro.overlay.groups` -- multi-group bookkeeping: K groups over
+  one host population, per-host joined-group counts, per-group trees.
+"""
+
+from repro.overlay.capacity_aware import (
+    capacity_aware_dsct,
+    capacity_aware_nice,
+    capacity_degree_bound,
+)
+from repro.overlay.clustering import cluster_by_proximity, elect_core
+from repro.overlay.dsct import build_dsct_tree
+from repro.overlay.dynamics import ChurnSimulator, join_member, leave_member
+from repro.overlay.groups import MultiGroupNetwork
+from repro.overlay.nice import build_nice_tree
+from repro.overlay.tree import MulticastTree
+
+__all__ = [
+    "MulticastTree",
+    "cluster_by_proximity",
+    "elect_core",
+    "build_dsct_tree",
+    "ChurnSimulator",
+    "join_member",
+    "leave_member",
+    "build_nice_tree",
+    "capacity_aware_dsct",
+    "capacity_aware_nice",
+    "capacity_degree_bound",
+    "MultiGroupNetwork",
+]

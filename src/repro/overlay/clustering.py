@@ -1,0 +1,143 @@
+"""Proximity clustering shared by DSCT and NICE.
+
+Both protocols partition hosts into clusters of size ``s in [k, 3k-1]``
+("the 'intra-cluster' size s_ina is a random integer between k and
+3k - 1 if the number of unassigned members is greater than 3k - 1;
+otherwise, s_ina is the number of unassigned group members") and elect
+a *core* per cluster that represents it in the next layer up.
+
+The clustering is greedy nearest-neighbour on an RTT matrix: repeatedly
+seed a cluster with an unassigned host and absorb its closest
+unassigned neighbours -- the "closest ... end hosts are assigned into
+the same" cluster rule of the paper, with the randomised size drawn per
+cluster.  Cores are RTT medoids (minimum summed RTT to cluster mates),
+the usual graph-centre election of hierarchical EMcast protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["draw_cluster_size", "cluster_by_proximity", "elect_core"]
+
+
+def draw_cluster_size(
+    unassigned: int, k: int, rng: np.random.Generator,
+    max_size: Optional[int] = None,
+) -> int:
+    """Draw one cluster size per the paper's rule.
+
+    Random integer in ``[k, 3k-1]`` while more than ``3k-1`` hosts remain,
+    otherwise all remaining hosts.  ``max_size`` optionally caps the draw
+    (capacity-aware variants bound the core's fan-out).
+    """
+    if k < 2:
+        raise ValueError(f"cluster size base k must be >= 2, got {k}")
+    if unassigned <= 0:
+        raise ValueError("no unassigned hosts to cluster")
+    hi = 3 * k - 1
+    if unassigned <= hi:
+        size = unassigned
+    else:
+        size = int(rng.integers(k, hi + 1))
+    if max_size is not None:
+        size = max(2, min(size, max_size)) if unassigned > 1 else 1
+        size = min(size, unassigned)
+    return size
+
+
+def cluster_by_proximity(
+    members: Sequence[int],
+    rtt: np.ndarray,
+    k: int,
+    rng: RandomSource = None,
+    *,
+    max_size: Optional[int] = None,
+    size_cap_per_seed=None,
+    fill_to_capacity: bool = False,
+) -> list[list[int]]:
+    """Partition ``members`` into proximity clusters of size ``[k, 3k-1]``.
+
+    Parameters
+    ----------
+    members:
+        Host indices to cluster (indices into ``rtt``).
+    rtt:
+        Full host-to-host RTT matrix.
+    k:
+        Cluster size base (3 in the paper).
+    max_size:
+        Optional global cap on cluster sizes (capacity-aware variants).
+    size_cap_per_seed:
+        Optional callable ``host -> int`` giving a per-seed cap (the
+        seed becomes the cluster's prospective core, so its capacity
+        bounds how many mates it can serve).
+
+    Returns
+    -------
+    list of clusters, each a list of host indices; the union is exactly
+    ``members`` and every cluster is non-empty.
+    """
+    gen = ensure_rng(rng)
+    remaining = list(members)
+    clusters: list[list[int]] = []
+    while remaining:
+        # Seed with a random unassigned host (the paper's constructions
+        # are incremental and order-random); absorb nearest neighbours.
+        # Capacity-aware variants core clusters on hosts that still have
+        # fan-out budget ("assign the direct child members for each end
+        # host based on the end host output capacity"), so bias the seed
+        # towards them; if none is left, fall back to any host (the
+        # forced minimum-2 cluster size below keeps the layering finite).
+        if size_cap_per_seed is not None and len(remaining) > 1:
+            able = [i for i, m in enumerate(remaining) if size_cap_per_seed(m) >= 2]
+            pool = able if able else range(len(remaining))
+            seed_pos = pool[int(gen.integers(len(pool)))]
+        else:
+            seed_pos = int(gen.integers(len(remaining)))
+        seed = remaining.pop(seed_pos)
+        cap = max_size
+        if size_cap_per_seed is not None:
+            seed_cap = int(size_cap_per_seed(seed))
+            cap = seed_cap if cap is None else min(cap, seed_cap)
+        if fill_to_capacity and cap is not None:
+            # Capacity-aware protocols fan out as wide as the core's
+            # capacity allows ("assign the direct child members ...
+            # based on the end host output capacity"), ignoring the
+            # [k, 3k-1] cluster-size convention.
+            size = max(2, min(cap, len(remaining) + 1)) if remaining else 1
+        else:
+            size = draw_cluster_size(len(remaining) + 1, k, gen, max_size=cap)
+        if size <= 1 or not remaining:
+            clusters.append([seed])
+            continue
+        rest = np.asarray(remaining, dtype=np.int64)
+        order = np.argsort(rtt[seed, rest], kind="stable")
+        take = [int(rest[i]) for i in order[: size - 1]]
+        cluster = [seed] + take
+        taken = set(take)
+        remaining = [m for m in remaining if m not in taken]
+        clusters.append(cluster)
+    return clusters
+
+
+def elect_core(
+    cluster: Sequence[int], rtt: np.ndarray, prefer: Optional[int] = None
+) -> int:
+    """Elect the cluster core: the RTT medoid.
+
+    ``prefer`` wins ties and, when a member of the cluster, is returned
+    directly (DSCT keeps a group's source as the core of every cluster
+    on its own path so the tree stays rooted at the source).
+    """
+    if not cluster:
+        raise ValueError("cannot elect a core of an empty cluster")
+    if prefer is not None and prefer in cluster:
+        return prefer
+    members = np.asarray(cluster, dtype=np.int64)
+    sub = rtt[np.ix_(members, members)]
+    return int(members[int(np.argmin(sub.sum(axis=1)))])

@@ -1,0 +1,171 @@
+"""DSCT tree construction (Tu & Jia, GlobeCom'04; Section V of the paper).
+
+DSCT ("a scalable and efficient end host multicast for peer-to-peer
+systems") is a *location-aware hierarchy and cluster tree*:
+
+1. Members partition into **local domains** -- "each local domain only
+   contains the group members attaching to the same backbone routers".
+2. Inside a domain, the closest hosts (by RTT) form **intra-clusters**
+   of size ``s_ina in [k, 3k-1]``; each cluster's core joins the next
+   layer and clusters again, until one host -- the **local core** --
+   tops the domain.
+3. Across domains, the local cores form **inter-clusters** of size
+   ``s_ine in [k, 3k-1]`` and keep layering the same way until a single
+   host tops the whole tree.
+
+Tree edges run core -> members of its cluster.  When the multicast
+source is among the members it is preferred as core of every cluster it
+sits in, so the hierarchy is rooted at the source (the construction the
+paper's Theorem 7 assumes).
+
+The resulting height is bounded by Lemma 2,
+``H <= ceil(log_k [k + (n - j1)(k-1)])`` -- a property test in the test
+suite checks every constructed tree against the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.overlay.clustering import cluster_by_proximity, elect_core
+from repro.overlay.tree import MulticastTree
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["build_dsct_tree", "layer_once"]
+
+
+def layer_once(
+    layer: Sequence[int],
+    rtt: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    parent: dict[int, int],
+    prefer: Optional[int],
+    *,
+    core_policy: str = "medoid",
+    size_cap_per_seed: Optional[Callable[[int], int]] = None,
+    fill_to_capacity: bool = False,
+) -> list[int]:
+    """Cluster one layer, record core->member edges, return the next layer."""
+    clusters = cluster_by_proximity(
+        layer, rtt, k, rng, size_cap_per_seed=size_cap_per_seed,
+        fill_to_capacity=fill_to_capacity,
+    )
+    next_layer = []
+    charge = getattr(size_cap_per_seed, "charge", None)
+    for cluster in clusters:
+        if core_policy == "seed":
+            # The seed cores its cluster unconditionally: capacity caps
+            # were computed against the seed, so honouring `prefer` here
+            # would bind a cap to the wrong host.  Rooting at the source
+            # is restored by the top-level graft in the tree builders.
+            core = cluster[0]
+        elif core_policy == "capacity":
+            # Capacity-aware core election: the member with the largest
+            # remaining fan-out budget cores the cluster.  Since the
+            # cluster size was capped by the seed's budget and the core
+            # maximises the budget, the core can always afford its
+            # children (no capacity violation).
+            if size_cap_per_seed is None:
+                raise ValueError("core_policy='capacity' needs size_cap_per_seed")
+            core = max(cluster, key=lambda m: (size_cap_per_seed(m), -m))
+        elif core_policy == "medoid":
+            core = elect_core(cluster, rtt, prefer=prefer)
+        else:
+            raise ValueError(f"unknown core_policy {core_policy!r}")
+        for m in cluster:
+            if m != core:
+                parent[m] = core
+        if charge is not None:
+            # Capacity-aware budgets are cumulative across layers.
+            charge(core, len(cluster) - 1)
+        next_layer.append(core)
+    return next_layer
+
+
+def build_dsct_tree(
+    source: int,
+    members: Sequence[int],
+    rtt: np.ndarray,
+    host_router: Sequence[int],
+    *,
+    k: int = 3,
+    rng: RandomSource = None,
+    core_policy: str = "medoid",
+    size_cap_per_seed: Optional[Callable[[int], int]] = None,
+    fill_to_capacity: bool = False,
+) -> MulticastTree:
+    """Build the DSCT tree of one multicast group.
+
+    Parameters
+    ----------
+    source:
+        The group's source host; must be a member.  It becomes the root.
+    members:
+        Member host indices (including the source).
+    rtt:
+        Host-to-host RTT matrix (see :func:`repro.topology.routing.host_rtt_matrix`).
+    host_router:
+        ``host_router[h]`` -- backbone router of host ``h`` (defines the
+        local domains).
+    k:
+        Cluster size base (3 in the paper's experiments).
+    rng:
+        Seed/generator driving the random cluster sizes.
+    core_policy:
+        ``"medoid"`` (RTT centre, the default protocol behaviour) or
+        ``"seed"`` (the cluster seed cores it -- used by the
+        capacity-aware variant so fan-out caps bind to the right host).
+    size_cap_per_seed:
+        Optional per-host cluster size cap (capacity-aware variant).
+
+    Returns
+    -------
+    MulticastTree rooted at ``source``.
+    """
+    members = list(dict.fromkeys(members))
+    if source not in members:
+        raise ValueError("the source must be one of the members")
+    if len(members) == 1:
+        return MulticastTree(root=source, parent={})
+    gen = ensure_rng(rng)
+    parent: dict[int, int] = {}
+
+    # 1. Local domains by backbone router.
+    domains: dict[int, list[int]] = {}
+    for m in members:
+        domains.setdefault(int(host_router[m]), []).append(m)
+
+    # 2. Intra-domain layering -> one local core per domain.
+    local_cores: list[int] = []
+    for router in sorted(domains):
+        layer = domains[router]
+        prefer = source if source in layer else None
+        while len(layer) > 1:
+            layer = layer_once(
+                layer, rtt, k, gen, parent, prefer,
+                core_policy=core_policy, size_cap_per_seed=size_cap_per_seed,
+                fill_to_capacity=fill_to_capacity,
+            )
+        local_cores.append(layer[0])
+
+    # 3. Inter-domain layering of the local cores.
+    layer = local_cores
+    while len(layer) > 1:
+        layer = layer_once(
+            layer, rtt, k, gen, parent, source if source in layer else None,
+            core_policy=core_policy, size_cap_per_seed=size_cap_per_seed,
+            fill_to_capacity=fill_to_capacity,
+        )
+
+    top = layer[0]
+    if top != source:
+        # The source was preferred in every cluster containing it, so it
+        # survives to the top whenever it is a member; reaching here
+        # means a capacity cap displaced it -- re-root by grafting.
+        parent[top] = source
+        if source in parent:
+            del parent[source]
+    return MulticastTree(root=source, parent=parent)

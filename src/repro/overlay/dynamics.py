@@ -1,0 +1,188 @@
+"""Dynamic group membership: joins, leaves, and local repair.
+
+EMcast trees live in churn; DSCT/NICE are incremental protocols (the
+paper's trees are built by members joining one by one).  This module
+adds the dynamic operations on top of the static builders so churn
+studies are possible:
+
+* :func:`join_member` -- a new host attaches to the closest member that
+  still has fan-out budget (the incremental join rule of
+  cluster-hierarchy protocols);
+* :func:`leave_member` -- a departing member's children are re-parented
+  to its parent (grandparent promotion), the standard local repair;
+  leaving the root promotes the child with the most remaining capacity;
+* :class:`ChurnSimulator` -- applies a join/leave schedule and tracks
+  *tree stability* (re-parent operations per event), one of the classic
+  EMcast metrics named alongside WDB in the paper's Section I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.overlay.tree import MulticastTree
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["join_member", "leave_member", "ChurnSimulator", "ChurnStats"]
+
+
+def join_member(
+    tree: MulticastTree,
+    new_host: int,
+    rtt: np.ndarray,
+    *,
+    max_fanout: Optional[int] = None,
+) -> MulticastTree:
+    """Attach ``new_host`` to its RTT-closest member with spare fan-out.
+
+    Parameters
+    ----------
+    tree:
+        The current tree.
+    new_host:
+        Host index to add (must not already be a member).
+    rtt:
+        Host RTT matrix.
+    max_fanout:
+        Optional fan-out ceiling per parent (capacity-aware joins).
+
+    Returns
+    -------
+    A new tree containing the host (trees are immutable values).
+    """
+    members = tree.members()
+    if new_host in members:
+        raise ValueError(f"host {new_host} is already a member")
+    fanout = tree.fanout()
+    candidates = [
+        m for m in members
+        if max_fanout is None or fanout.get(m, 0) < max_fanout
+    ]
+    if not candidates:
+        raise ValueError("no member has spare fan-out for the join")
+    ordered = sorted(candidates, key=lambda m: (rtt[new_host, m], m))
+    parent = dict(tree.parent)
+    parent[new_host] = ordered[0]
+    return MulticastTree(root=tree.root, parent=parent)
+
+
+def leave_member(
+    tree: MulticastTree, host: int
+) -> tuple[MulticastTree, int]:
+    """Remove ``host``; re-parent its children to its parent.
+
+    Returns the new tree and the number of re-parent operations (the
+    stability cost of the leave).  Leaving the root promotes the child
+    with the smallest index (deterministic) to root.
+    """
+    members = tree.members()
+    if host not in members:
+        raise ValueError(f"host {host} is not a member")
+    if len(members) == 1:
+        raise ValueError("cannot remove the last member")
+    parent = dict(tree.parent)
+    children = tree.children().get(host, [])
+    if host == tree.root:
+        # Promote the first child to root; its siblings re-parent to it.
+        new_root = children[0]
+        del parent[new_root]
+        moves = 0
+        for c in children[1:]:
+            parent[c] = new_root
+            moves += 1
+        return MulticastTree(root=new_root, parent=parent), moves
+    grandparent = parent.pop(host)
+    moves = 0
+    for c in children:
+        parent[c] = grandparent
+        moves += 1
+    return MulticastTree(root=tree.root, parent=parent), moves
+
+
+@dataclass
+class ChurnStats:
+    """Aggregate churn metrics."""
+
+    joins: int = 0
+    leaves: int = 0
+    reparent_operations: int = 0
+    height_trace: list[int] = field(default_factory=list)
+
+    @property
+    def stability(self) -> float:
+        """Mean re-parent operations per membership event (lower = stabler)."""
+        events = self.joins + self.leaves
+        return self.reparent_operations / events if events else 0.0
+
+
+class ChurnSimulator:
+    """Apply random join/leave events to a tree and track stability.
+
+    Parameters
+    ----------
+    tree:
+        Initial tree.
+    rtt:
+        Host RTT matrix (joins cluster by proximity).
+    standby:
+        Pool of host indices not currently in the tree, available to join.
+    max_fanout:
+        Optional fan-out ceiling for joins.
+    """
+
+    def __init__(
+        self,
+        tree: MulticastTree,
+        rtt: np.ndarray,
+        standby: Sequence[int],
+        *,
+        max_fanout: Optional[int] = None,
+    ):
+        members = tree.members()
+        overlap = members & set(standby)
+        if overlap:
+            raise ValueError(f"standby hosts already in the tree: {overlap}")
+        self.tree = tree
+        self.rtt = rtt
+        self.standby = list(standby)
+        self.max_fanout = max_fanout
+        self.stats = ChurnStats()
+
+    def step(self, rng: RandomSource = None) -> str:
+        """One random membership event; returns ``"join"`` or ``"leave"``.
+
+        Joins and leaves are balanced 50/50 while both are possible;
+        degenerate states (empty standby pool / minimal tree) force the
+        other event.
+        """
+        gen = ensure_rng(rng)
+        can_join = bool(self.standby)
+        can_leave = self.tree.size > 2
+        if not can_join and not can_leave:
+            raise RuntimeError("neither join nor leave is possible")
+        do_join = can_join and (not can_leave or gen.random() < 0.5)
+        if do_join:
+            idx = int(gen.integers(len(self.standby)))
+            host = self.standby.pop(idx)
+            self.tree = join_member(
+                self.tree, host, self.rtt, max_fanout=self.max_fanout
+            )
+            self.stats.joins += 1
+        else:
+            members = sorted(self.tree.members() - {self.tree.root})
+            host = members[int(gen.integers(len(members)))]
+            self.tree, moves = leave_member(self.tree, host)
+            self.standby.append(host)
+            self.stats.leaves += 1
+            self.stats.reparent_operations += moves
+        self.stats.height_trace.append(self.tree.height)
+        return "join" if do_join else "leave"
+
+    def run(self, events: int, rng: RandomSource = None) -> ChurnStats:
+        gen = ensure_rng(rng)
+        for _ in range(events):
+            self.step(gen)
+        return self.stats

@@ -1,0 +1,96 @@
+"""Structural tree metrics, comparable across schemes.
+
+The EMcast literature (and the paper's Section I) evaluates trees on
+more than delay: height, fan-out, link stress, latency stretch.
+:func:`compare_schemes` builds every scheme over one world and collects
+those metrics side by side -- the structural companion to the delay
+comparison of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.overlay.groups import SCHEMES, MultiGroupNetwork
+from repro.overlay.tree import MulticastTree
+from repro.utils.rng import RandomSource
+
+__all__ = ["TreeMetrics", "measure_tree", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """Structural metrics of one multicast tree."""
+
+    scheme: str
+    group: int
+    size: int
+    height: int
+    max_fanout: int
+    mean_fanout_internal: float
+    link_stress: float
+    stretch: float
+    critical_path_hosts: int
+
+    def as_row(self) -> list:
+        return [
+            self.scheme, self.group, self.size, self.height,
+            self.max_fanout, round(self.mean_fanout_internal, 2),
+            round(self.link_stress, 2), round(self.stretch, 2),
+            self.critical_path_hosts,
+        ]
+
+
+def measure_tree(
+    scheme: str,
+    group: int,
+    tree: MulticastTree,
+    latency: np.ndarray,
+    host_router: Sequence[int],
+) -> TreeMetrics:
+    """Collect the structural metrics of one tree."""
+    fanout = tree.fanout()
+    internal = [f for f in fanout.values() if f > 0]
+    return TreeMetrics(
+        scheme=scheme,
+        group=group,
+        size=tree.size,
+        height=tree.height,
+        max_fanout=tree.max_fanout(),
+        mean_fanout_internal=float(np.mean(internal)) if internal else 0.0,
+        link_stress=tree.link_stress(host_router),
+        stretch=tree.stretch(latency),
+        critical_path_hosts=len(tree.critical_path()),
+    )
+
+
+def compare_schemes(
+    mgn: MultiGroupNetwork,
+    *,
+    schemes: Sequence[str] = SCHEMES,
+    aggregate_rate: Optional[float] = None,
+    cluster_k: int = 3,
+    rng: RandomSource = None,
+) -> list[TreeMetrics]:
+    """Build every scheme's trees over one world; return all metrics.
+
+    ``aggregate_rate`` is required whenever a capacity-aware scheme is
+    included (it sets the fan-out bounds).
+    """
+    latency = mgn.latency
+    host_router = mgn.network.host_router
+    out: list[TreeMetrics] = []
+    for scheme in schemes:
+        needs_rate = scheme.startswith("capacity-aware")
+        trees = mgn.build_all_trees(
+            scheme,
+            k=cluster_k,
+            aggregate_rate=aggregate_rate if needs_rate else None,
+            rng=rng,
+        )
+        for g, tree in enumerate(trees):
+            out.append(measure_tree(scheme, g, tree, latency, host_router))
+    return out

@@ -1,0 +1,67 @@
+"""NICE-style layered clustering (Banerjee et al., SIGCOMM'02).
+
+The paper's baseline tree.  NICE arranges all members in layers:
+layer ``L0`` holds everyone, partitioned into clusters of size
+``[k, 3k-1]`` by proximity; each cluster elects its centre as leader,
+the leaders populate ``L1`` and cluster again; and so on until a single
+host tops the hierarchy.  Data flows from a cluster leader to its
+cluster members.
+
+Structurally this is DSCT *without the local-domain partition*: NICE
+has no knowledge of the underlay attachment, so its bottom-layer
+clusters may straddle backbone routers, which is exactly why the paper
+measures longer worst-case delays for NICE than for DSCT under every
+control scheme ("DSCT employs the hosts' location knowledge to build up
+the multicast architecture").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.overlay.dsct import layer_once
+from repro.overlay.tree import MulticastTree
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["build_nice_tree"]
+
+
+def build_nice_tree(
+    source: int,
+    members: Sequence[int],
+    rtt: np.ndarray,
+    *,
+    k: int = 3,
+    rng: RandomSource = None,
+    core_policy: str = "medoid",
+    size_cap_per_seed: Optional[Callable[[int], int]] = None,
+    fill_to_capacity: bool = False,
+) -> MulticastTree:
+    """Build a NICE-style layered cluster tree rooted at ``source``.
+
+    Parameters mirror :func:`repro.overlay.dsct.build_dsct_tree` minus
+    ``host_router`` -- NICE is location-unaware by design.
+    """
+    members = list(dict.fromkeys(members))
+    if source not in members:
+        raise ValueError("the source must be one of the members")
+    if len(members) == 1:
+        return MulticastTree(root=source, parent={})
+    gen = ensure_rng(rng)
+    parent: dict[int, int] = {}
+    layer = members
+    while len(layer) > 1:
+        layer = layer_once(
+            layer, rtt, k, gen, parent,
+            source if source in layer else None,
+            core_policy=core_policy, size_cap_per_seed=size_cap_per_seed,
+            fill_to_capacity=fill_to_capacity,
+        )
+    top = layer[0]
+    if top != source:
+        parent[top] = source
+        if source in parent:
+            del parent[source]
+    return MulticastTree(root=source, parent=parent)

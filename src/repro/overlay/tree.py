@@ -1,0 +1,179 @@
+"""Generic rooted multicast trees.
+
+A :class:`MulticastTree` is a parent map over host indices plus the
+queries every experiment needs: layer count (the paper's "tree layer
+numbers", Tables I-III), longest root-to-leaf path (the critical path
+whose regulated chain realises the worst-case multicast delay of
+Theorem 7), per-host fan-out, and propagation along overlay paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MulticastTree"]
+
+
+@dataclass(frozen=True)
+class MulticastTree:
+    """A rooted tree over member host indices.
+
+    Attributes
+    ----------
+    root:
+        Host index of the source/root.
+    parent:
+        Mapping ``member -> parent member``; the root is absent (or maps
+        to itself).  Members are arbitrary hashable host indices.
+    """
+
+    root: int
+    parent: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        parent = {m: p for m, p in self.parent.items() if m != p}
+        object.__setattr__(self, "parent", parent)
+        if self.root in parent:
+            raise ValueError("the root cannot have a parent")
+        # Validate: every chain reaches the root without cycles.
+        members = self.members()
+        for m in parent:
+            seen = set()
+            cur = m
+            while cur != self.root:
+                if cur in seen:
+                    raise ValueError(f"cycle detected at member {cur}")
+                seen.add(cur)
+                if cur not in parent:
+                    raise ValueError(
+                        f"member {cur} is disconnected from the root {self.root}"
+                    )
+                cur = parent[cur]
+        object.__setattr__(self, "_children_cache", None)
+
+    # -- basic queries ---------------------------------------------------
+    def members(self) -> set[int]:
+        """All member indices (root included)."""
+        out = set(self.parent)
+        out.update(self.parent.values())
+        out.add(self.root)
+        return out
+
+    @property
+    def size(self) -> int:
+        return len(self.members())
+
+    def children(self) -> dict[int, list[int]]:
+        """Mapping member -> ordered list of children."""
+        cached = getattr(self, "_children_cache", None)
+        if cached is not None:
+            return cached
+        ch: dict[int, list[int]] = {m: [] for m in self.members()}
+        for m, p in sorted(self.parent.items()):
+            ch[p].append(m)
+        object.__setattr__(self, "_children_cache", ch)
+        return ch
+
+    def depth(self, member: int) -> int:
+        """Number of overlay hops from the root (root depth 0)."""
+        d = 0
+        cur = member
+        while cur != self.root:
+            cur = self.parent[cur]
+            d += 1
+        return d
+
+    def path_from_root(self, member: int) -> list[int]:
+        """Hosts along the root -> member path, inclusive."""
+        rev = [member]
+        cur = member
+        while cur != self.root:
+            cur = self.parent[cur]
+            rev.append(cur)
+        return rev[::-1]
+
+    # -- paper metrics -----------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of layers: 1 + max depth (a lone root has height 1).
+
+        This is the "tree layer number" of Tables I-III and the ``H`` of
+        Lemma 2 / Theorems 7-8.
+        """
+        if not self.parent:
+            return 1
+        return 1 + max(self.depth(m) for m in self.parent)
+
+    def critical_path(self) -> list[int]:
+        """The longest root-to-leaf path (most overlay hops).
+
+        Ties break towards the smaller leaf index for determinism.  The
+        worst-case multicast delay is attained along this path
+        (Theorem 7's proof construction), so the chain simulators run it.
+        """
+        best: Optional[list[int]] = None
+        ch = self.children()
+        leaves = sorted(m for m, c in ch.items() if not c)
+        for leaf in leaves:
+            p = self.path_from_root(leaf)
+            if best is None or len(p) > len(best):
+                best = p
+        return best if best is not None else [self.root]
+
+    def fanout(self) -> dict[int, int]:
+        """Number of children per member (the forwarding load)."""
+        return {m: len(c) for m, c in self.children().items()}
+
+    def max_fanout(self) -> int:
+        f = self.fanout()
+        return max(f.values()) if f else 0
+
+    def link_stress(self, host_router: Sequence[int]) -> float:
+        """Mean number of overlay edges crossing each backbone router pair.
+
+        A classic EMcast metric: overlay edges whose endpoints attach to
+        the same router pair duplicate packets on the same underlay
+        links.  ``host_router[h]`` gives each host's attachment.
+        """
+        if not self.parent:
+            return 0.0
+        pair_count: dict[tuple[int, int], int] = {}
+        for m, p in self.parent.items():
+            a, b = host_router[m], host_router[p]
+            key = (min(a, b), max(a, b))
+            pair_count[key] = pair_count.get(key, 0) + 1
+        return float(np.mean(list(pair_count.values())))
+
+    def path_propagation(
+        self, path: Iterable[int], latency_matrix: np.ndarray
+    ) -> float:
+        """Sum of one-way underlay latencies along consecutive overlay hops."""
+        path = list(path)
+        return float(
+            sum(latency_matrix[a, b] for a, b in zip(path, path[1:]))
+        )
+
+    def total_propagation_to(self, member: int, latency_matrix: np.ndarray) -> float:
+        """Propagation along the root -> member overlay path."""
+        return self.path_propagation(self.path_from_root(member), latency_matrix)
+
+    def stretch(self, latency_matrix: np.ndarray) -> float:
+        """Mean ratio of overlay path latency to direct unicast latency."""
+        ratios = []
+        for m in self.parent:
+            direct = latency_matrix[self.root, m]
+            if direct <= 0:
+                continue
+            ratios.append(self.total_propagation_to(m, latency_matrix) / direct)
+        return float(np.mean(ratios)) if ratios else 1.0
+
+    # -- transforms --------------------------------------------------------
+    def relabel(self, mapping: dict[int, int]) -> "MulticastTree":
+        """Apply a member relabelling (e.g. local indices -> host ids)."""
+        return MulticastTree(
+            root=mapping[self.root],
+            parent={mapping[m]: mapping[p] for m, p in self.parent.items()},
+        )

@@ -1,0 +1,139 @@
+"""Deterministic discrete-event simulation core.
+
+A deliberately small engine: a binary-heap event queue with a strict
+total order on events ``(time, priority, sequence)`` so that runs are
+bit-for-bit reproducible, plus the component conventions the rest of
+:mod:`repro.simulation` builds on (components hold a reference to the
+simulator and schedule callbacks).
+
+The engine is profiling-friendly (see the HPC guidance in
+``/opt/skills/guides``): the hot loop does nothing but pop-and-call, and
+:attr:`Simulator.events_processed` lets benchmarks report event rates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An entry in the event queue (ordering fields first)."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run(until=100.0)
+
+    Events at equal times execute in (priority, schedule-order) order;
+    lower priority values run first.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``.
+
+        Returns the event handle, whose :meth:`ScheduledEvent.cancel`
+        removes it lazily (cancelled events are skipped when popped --
+        O(1) cancellation at the cost of heap residue, the standard
+        trade-off).
+        """
+        if time < self.now - 1e-15:
+            raise ValueError(
+                f"cannot schedule in the past (now={self.now}, time={time})"
+            )
+        ev = ScheduledEvent(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_in(
+        self, delay: float, callback: Callable[..., None], *args: Any, priority: int = 0
+    ) -> ScheduledEvent:
+        """Schedule relative to the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self.now + delay, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this time
+            (the clock is left at ``until``).
+        max_events:
+            Safety valve for tests; raises ``RuntimeError`` when
+            exceeded (a runaway component is a bug, not a result).
+        """
+        queue = self._queue
+        processed_here = 0
+        while queue:
+            ev = queue[0]
+            if ev.cancelled:
+                heapq.heappop(queue)
+                continue
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(queue)
+            self.now = ev.time
+            ev.callback(*ev.args)
+            self.events_processed += 1
+            processed_here += 1
+            if max_events is not None and processed_here > max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events}; runaway component?"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+
+    def peek_time(self) -> float:
+        """Time of the next pending event (``inf`` when idle)."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else float("inf")
+
+    @property
+    def pending(self) -> int:
+        """Number of (non-cancelled) scheduled events."""
+        return sum(1 for ev in self._queue if not ev.cancelled)

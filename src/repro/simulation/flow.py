@@ -1,0 +1,402 @@
+"""Traffic sources and packet traces.
+
+The paper's evaluation feeds two kinds of real-time streams into the
+network: **64 kbps audio** and **1.5 Mbps MPEG-1 video**, both variable
+bit rate ("the audio and video streams in the simulation are all
+variable bit rate (VBR) flows", Section VI).  This module provides the
+corresponding generators plus generic ones (CBR, on/off, Poisson).
+
+Sources generate a :class:`PacketTrace` -- plain NumPy arrays of
+emission times and sizes -- which both the discrete-event and the fluid
+backend consume, so the two backends can be compared on *identical*
+input.  Sizes are in capacity-seconds (``C = 1`` convention); use
+:meth:`TrafficSource.scaled_to` to retarget a source at a given
+utilisation, which is how the experiment harness sweeps the x-axis of
+Figures 4 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.utils.piecewise import PiecewiseLinearCurve
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "PacketTrace",
+    "TrafficSource",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+    "AudioSource",
+    "VBRVideoSource",
+]
+
+
+@dataclass(frozen=True)
+class PacketTrace:
+    """A realised packet stream: emission times and sizes (NumPy arrays)."""
+
+    times: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times, dtype=np.float64)
+        s = np.asarray(self.sizes, dtype=np.float64)
+        if t.ndim != 1 or s.ndim != 1 or t.shape != s.shape:
+            raise ValueError("times and sizes must be 1-D arrays of equal length")
+        if t.size and np.any(np.diff(t) < 0):
+            raise ValueError("packet times must be non-decreasing")
+        if np.any(s <= 0):
+            raise ValueError("packet sizes must be > 0")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "sizes", s)
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def total(self) -> float:
+        """Total data (capacity-seconds) in the trace."""
+        return float(self.sizes.sum())
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0]) if len(self) else 0.0
+
+    def mean_rate(self) -> float:
+        """Average rate over the trace duration (0 for degenerate traces)."""
+        d = self.duration
+        return self.total / d if d > 0 else 0.0
+
+    def to_curve(self) -> PiecewiseLinearCurve:
+        """Cumulative arrival staircase of the trace."""
+        return PiecewiseLinearCurve.from_packet_arrivals(self.times, self.sizes)
+
+    def empirical_sigma(self, rho: float) -> float:
+        """Tightest burst parameter making the trace (sigma, rho)-conformant."""
+        return self.to_curve().min_sigma(rho)
+
+    def binned_arrivals(self, dt: float, horizon: float) -> np.ndarray:
+        """Rasterise the trace onto a uniform grid: data per bin.
+
+        Bin ``i`` covers ``[i dt, (i+1) dt)``.  This is the fluid
+        backend's input; a single vectorised ``np.add.at``.
+        """
+        check_positive(dt, "dt")
+        check_positive(horizon, "horizon")
+        n_bins = int(np.ceil(horizon / dt))
+        bins = np.zeros(n_bins, dtype=np.float64)
+        if len(self) == 0:
+            return bins
+        idx = np.floor(self.times / dt).astype(np.int64)
+        keep = idx < n_bins
+        np.add.at(bins, idx[keep], self.sizes[keep])
+        return bins
+
+    def restrict(self, horizon: float) -> "PacketTrace":
+        """Keep only packets emitted strictly before ``horizon``."""
+        keep = self.times < horizon
+        return PacketTrace(self.times[keep], self.sizes[keep])
+
+    def fragment(self, mtu: float) -> "PacketTrace":
+        """Split packets larger than ``mtu`` into MTU-sized fragments.
+
+        Application frames (a 60 kbit MPEG I-frame, say) are transmitted
+        as several link-layer packets; the DES regulators are
+        non-preemptive per packet, so fragmenting keeps their deviation
+        from the fluid model bounded by one MTU serialisation time.
+        Fragments share the original emission time (cumulative curves,
+        and hence all delay measures, are unchanged).
+        """
+        check_positive(mtu, "mtu")
+        if len(self) == 0 or float(self.sizes.max()) <= mtu:
+            return self
+        counts = np.ceil(self.sizes / mtu).astype(np.int64)
+        times = np.repeat(self.times, counts)
+        sizes = np.full(times.shape, mtu, dtype=np.float64)
+        # The last fragment of each packet carries the remainder.
+        last_idx = np.cumsum(counts) - 1
+        remainders = self.sizes - (counts - 1) * mtu
+        sizes[last_idx] = remainders
+        return PacketTrace(times, sizes)
+
+
+class TrafficSource:
+    """Base class of all traffic generators.
+
+    Subclasses implement :meth:`generate`; the base class provides
+    rate-retargeting (:meth:`scaled_to`) and envelope extraction.
+
+    Parameters
+    ----------
+    rate:
+        Nominal sustained rate (utilisation of the ``C = 1`` link).
+    """
+
+    def __init__(self, rate: float):
+        self.rate = check_positive(rate, "rate")
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        """Produce the packet emissions in ``[0, horizon)``."""
+        raise NotImplementedError
+
+    def scaled_to(self, rate: float) -> "TrafficSource":
+        """A copy of this source retargeted to a new sustained rate.
+
+        The default implementation rescales packet sizes via a wrapper;
+        subclasses with a natural rate parameter override it.
+        """
+        return _ScaledSource(self, rate)
+
+    def envelope(self, horizon: float, rng: RandomSource = None) -> ArrivalEnvelope:
+        """Empirical (sigma, rho) envelope of one realisation.
+
+        ``rho`` is the nominal rate; ``sigma`` is measured from a
+        generated trace.  The regulators are configured from this, just
+        as a deployment would profile its media streams.
+        """
+        trace = self.generate(horizon, rng)
+        return ArrivalEnvelope(max(trace.empirical_sigma(self.rate), 1e-9), self.rate)
+
+
+class _ScaledSource(TrafficSource):
+    """Wrap another source, scaling its packet sizes to hit a target rate."""
+
+    def __init__(self, inner: TrafficSource, rate: float):
+        super().__init__(rate)
+        self._inner = inner
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        trace = self._inner.generate(horizon, rng)
+        factor = self.rate / self._inner.rate
+        return PacketTrace(trace.times, trace.sizes * factor)
+
+
+class CBRSource(TrafficSource):
+    """Constant bit rate source: one packet of fixed size every interval.
+
+    Parameters
+    ----------
+    rate:
+        Sustained rate (utilisation).
+    packet_size:
+        Size of each packet in capacity-seconds.
+    phase:
+        Offset of the first packet within the emission interval.
+    """
+
+    def __init__(self, rate: float, packet_size: float, phase: float = 0.0):
+        super().__init__(rate)
+        self.packet_size = check_positive(packet_size, "packet_size")
+        self.phase = check_non_negative(phase, "phase")
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        interval = self.packet_size / self.rate
+        times = np.arange(self.phase, horizon, interval, dtype=np.float64)
+        times = times[times < horizon]  # guard float edge at the stop value
+        return PacketTrace(times, np.full(times.shape, self.packet_size))
+
+    def scaled_to(self, rate: float) -> "CBRSource":
+        return CBRSource(rate, self.packet_size * rate / self.rate, self.phase)
+
+
+class PoissonSource(TrafficSource):
+    """Poisson packet arrivals with exponential spacing, fixed size."""
+
+    def __init__(self, rate: float, packet_size: float):
+        super().__init__(rate)
+        self.packet_size = check_positive(packet_size, "packet_size")
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        gen = ensure_rng(rng)
+        mean_gap = self.packet_size / self.rate
+        # Draw enough gaps to cover the horizon with margin, then trim.
+        n_est = max(int(horizon / mean_gap * 1.5) + 16, 16)
+        times = np.cumsum(gen.exponential(mean_gap, size=n_est))
+        while times.size and times[-1] < horizon:
+            extra = np.cumsum(gen.exponential(mean_gap, size=n_est)) + times[-1]
+            times = np.concatenate([times, extra])
+        times = times[times < horizon]
+        return PacketTrace(times, np.full(times.shape, self.packet_size))
+
+    def scaled_to(self, rate: float) -> "PoissonSource":
+        return PoissonSource(rate, self.packet_size * rate / self.rate)
+
+
+class OnOffSource(TrafficSource):
+    """Exponential on/off source emitting CBR bursts at a peak rate.
+
+    During *on* periods packets stream at ``peak_rate``; *off* periods
+    are silent.  The sustained rate is
+    ``peak_rate * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        peak_rate: float,
+        mean_on: float,
+        mean_off: float,
+        packet_size: float,
+    ):
+        check_positive(peak_rate, "peak_rate")
+        check_positive(mean_on, "mean_on")
+        check_positive(mean_off, "mean_off")
+        rate = peak_rate * mean_on / (mean_on + mean_off)
+        super().__init__(rate)
+        self.peak_rate = peak_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.packet_size = check_positive(packet_size, "packet_size")
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        gen = ensure_rng(rng)
+        times_parts: list[np.ndarray] = []
+        gap = self.packet_size / self.peak_rate
+        t = 0.0
+        while t < horizon:
+            on = gen.exponential(self.mean_on)
+            burst = np.arange(t, min(t + on, horizon), gap)
+            if burst.size:
+                times_parts.append(burst)
+            t += on + gen.exponential(self.mean_off)
+        if times_parts:
+            times = np.concatenate(times_parts)
+        else:
+            times = np.empty(0, dtype=np.float64)
+        return PacketTrace(times, np.full(times.shape, self.packet_size))
+
+    def scaled_to(self, rate: float) -> "OnOffSource":
+        factor = rate / self.rate
+        return OnOffSource(
+            self.peak_rate * factor, self.mean_on, self.mean_off,
+            self.packet_size * factor,
+        )
+
+
+class AudioSource(TrafficSource):
+    """A 64 kbps-style packet-audio stream (paper's audio workload).
+
+    Modelled as 20 ms frames with mild lognormal size variation (VBR
+    codecs such as GSM/AMR vary frame sizes; the paper stresses that its
+    streams are VBR).  ``rate`` is the sustained utilisation after
+    normalising the link capacity; frame period stays fixed while sizes
+    scale.
+
+    Parameters
+    ----------
+    rate:
+        Sustained utilisation of the ``C = 1`` link.
+    frame_interval:
+        Seconds between audio frames (20 ms default).
+    variability:
+        Standard deviation of the lognormal size multiplier (0 gives
+        CBR frames).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        frame_interval: float = 0.020,
+        variability: float = 0.15,
+    ):
+        super().__init__(rate)
+        self.frame_interval = check_positive(frame_interval, "frame_interval")
+        self.variability = check_non_negative(variability, "variability")
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        gen = ensure_rng(rng)
+        times = np.arange(0.0, horizon, self.frame_interval, dtype=np.float64)
+        times = times[times < horizon]  # guard float edge at the stop value
+        mean_size = self.rate * self.frame_interval
+        if self.variability > 0:
+            # Lognormal with unit mean so the sustained rate is preserved.
+            sig = self.variability
+            mult = gen.lognormal(mean=-0.5 * sig * sig, sigma=sig, size=times.shape)
+        else:
+            mult = np.ones(times.shape)
+        return PacketTrace(times, mean_size * mult)
+
+    def scaled_to(self, rate: float) -> "AudioSource":
+        return AudioSource(rate, self.frame_interval, self.variability)
+
+
+class VBRVideoSource(TrafficSource):
+    """An MPEG-1-style VBR video stream (paper's 1.5 Mbps workload).
+
+    Frames are emitted at ``fps`` with a repeating GoP pattern
+    ``IBBPBBPBBPBB`` (12 frames).  Frame sizes follow the classic MPEG
+    ratios (I : P : B close to 5 : 3 : 1) modulated by lognormal noise
+    and a slow scene-level AR(1) process, producing the bursty traffic
+    whose "throughput fluctuation" the paper blames for the simulated
+    threshold landing slightly below theory.
+
+    The sustained rate is calibrated so one realisation averages
+    ``rate`` (the GoP mix is normalised to unit mean).
+    """
+
+    #: MPEG GoP pattern used by the generator.
+    GOP_PATTERN = "IBBPBBPBBPBB"
+    #: Relative frame sizes (will be normalised to unit mean over a GoP).
+    FRAME_WEIGHTS = {"I": 5.0, "P": 3.0, "B": 1.0}
+
+    def __init__(
+        self,
+        rate: float,
+        fps: float = 25.0,
+        variability: float = 0.2,
+        scene_persistence: float = 0.95,
+        scene_strength: float = 0.15,
+    ):
+        super().__init__(rate)
+        self.fps = check_positive(fps, "fps")
+        self.variability = check_non_negative(variability, "variability")
+        self.scene_persistence = check_non_negative(scene_persistence, "scene_persistence")
+        if self.scene_persistence >= 1.0:
+            raise ValueError("scene_persistence must be < 1")
+        self.scene_strength = check_non_negative(scene_strength, "scene_strength")
+
+    def _gop_weights(self) -> np.ndarray:
+        w = np.array([self.FRAME_WEIGHTS[c] for c in self.GOP_PATTERN])
+        return w / w.mean()
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        gen = ensure_rng(rng)
+        frame_interval = 1.0 / self.fps
+        times = np.arange(0.0, horizon, frame_interval, dtype=np.float64)
+        times = times[times < horizon]  # guard float edge at the stop value
+        n = times.shape[0]
+        weights = np.tile(self._gop_weights(), n // len(self.GOP_PATTERN) + 1)[:n]
+        mean_size = self.rate * frame_interval
+        sizes = mean_size * weights
+        if self.variability > 0:
+            sig = self.variability
+            sizes = sizes * gen.lognormal(-0.5 * sig * sig, sig, size=n)
+        if self.scene_strength > 0:
+            # AR(1) scene process in log space, normalised to unit mean.
+            phi = self.scene_persistence
+            innov = gen.normal(0.0, self.scene_strength * np.sqrt(1 - phi * phi), n)
+            scene = np.empty(n)
+            acc = 0.0
+            for i in range(n):  # short loop: one step per video frame
+                acc = phi * acc + innov[i]
+                scene[i] = acc
+            scene_mult = np.exp(scene)
+            sizes = sizes * (scene_mult / scene_mult.mean())
+        return PacketTrace(times, sizes)
+
+    def scaled_to(self, rate: float) -> "VBRVideoSource":
+        return VBRVideoSource(
+            rate, self.fps, self.variability,
+            self.scene_persistence, self.scene_strength,
+        )

@@ -1,0 +1,127 @@
+"""Loss injection and delivery accounting.
+
+The paper's future work: "to study the algorithms on other QoS
+requirements (e.g., error control and packet loss) in multicast
+communications".  This module provides the substrate for that study:
+
+* :class:`LossyLink` -- a DES component that drops packets with a
+  configurable Bernoulli probability and/or during deterministic
+  outage windows (burst loss), forwarding survivors after a fixed
+  propagation delay;
+* :class:`LossAccountant` -- per-flow delivered/dropped bookkeeping so
+  experiments can report loss rates next to worst-case delays.
+
+Regulators interact with loss in a way worth measuring: a vacation
+regulator *upstream* of a lossy link shapes bursts away, which reduces
+the number of packets exposed to an outage window (tested in
+``tests/test_loss.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = ["LossyLink", "LossAccountant"]
+
+
+class LossAccountant:
+    """Per-flow delivered/dropped counters."""
+
+    def __init__(self) -> None:
+        self.delivered: dict[int, int] = {}
+        self.dropped: dict[int, int] = {}
+        self.delivered_data: dict[int, float] = {}
+        self.dropped_data: dict[int, float] = {}
+
+    def record_delivery(self, pkt: Packet) -> None:
+        self.delivered[pkt.flow_id] = self.delivered.get(pkt.flow_id, 0) + 1
+        self.delivered_data[pkt.flow_id] = (
+            self.delivered_data.get(pkt.flow_id, 0.0) + pkt.size
+        )
+
+    def record_drop(self, pkt: Packet) -> None:
+        self.dropped[pkt.flow_id] = self.dropped.get(pkt.flow_id, 0) + 1
+        self.dropped_data[pkt.flow_id] = (
+            self.dropped_data.get(pkt.flow_id, 0.0) + pkt.size
+        )
+
+    def loss_rate(self, flow_id: Optional[int] = None) -> float:
+        """Dropped packets / offered packets (0 when nothing offered)."""
+        if flow_id is None:
+            d = sum(self.dropped.values())
+            t = d + sum(self.delivered.values())
+        else:
+            d = self.dropped.get(flow_id, 0)
+            t = d + self.delivered.get(flow_id, 0)
+        return d / t if t else 0.0
+
+
+class LossyLink:
+    """A link with propagation delay, random loss and outage windows.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    sink:
+        Downstream component for surviving packets.
+    delay:
+        One-way propagation delay (seconds).
+    loss_probability:
+        Independent Bernoulli drop probability per packet.
+    outages:
+        Optional ``(start, end)`` windows during which *every* packet is
+        dropped (burst loss / transient partition).
+    rng:
+        Seed/generator for the Bernoulli draws.
+    accountant:
+        Optional shared :class:`LossAccountant`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink,
+        *,
+        delay: float = 0.0,
+        loss_probability: float = 0.0,
+        outages: Optional[Sequence[tuple[float, float]]] = None,
+        rng: RandomSource = None,
+        accountant: Optional[LossAccountant] = None,
+    ):
+        self.sim = sim
+        self.sink = sink
+        self.delay = check_non_negative(delay, "delay")
+        self.loss_probability = check_probability(
+            loss_probability, "loss_probability"
+        )
+        self.outages = [
+            (float(s), float(e)) for s, e in (outages or [])
+        ]
+        for s, e in self.outages:
+            if e < s:
+                raise ValueError(f"outage window ({s}, {e}) has end < start")
+        self._rng = ensure_rng(rng)
+        self.accountant = accountant or LossAccountant()
+
+    def _in_outage(self, t: float) -> bool:
+        return any(s <= t < e for s, e in self.outages)
+
+    def receive(self, packet: Packet) -> None:
+        now = self.sim.now
+        if self._in_outage(now) or (
+            self.loss_probability > 0.0
+            and self._rng.random() < self.loss_probability
+        ):
+            self.accountant.record_drop(packet)
+            return
+        self.accountant.record_delivery(packet)
+        if self.delay > 0.0:
+            self.sim.schedule_in(self.delay, self.sink.receive, packet)
+        else:
+            self.sink.receive(packet)

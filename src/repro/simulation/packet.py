@@ -1,0 +1,49 @@
+"""Packet objects flowing through the discrete-event simulator.
+
+Sizes are measured in *capacity-seconds* (the paper normalises every
+link to ``C = 1``): a packet of size ``s`` takes ``s`` seconds to
+serialise onto a full link.  Use
+:func:`repro.utils.units.normalize_rate` to convert real traffic into
+this unit system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One packet of one flow.
+
+    Attributes
+    ----------
+    flow_id:
+        Index of the flow (group) the packet belongs to.
+    size:
+        Packet size in capacity-seconds.
+    t_emit:
+        Emission time at the original source -- end-to-end delays are
+        always measured against this.
+    uid:
+        Monotonically increasing identifier (tie-breaking, tracing).
+    hops:
+        Number of overlay hops traversed so far (incremented by hosts).
+    """
+
+    flow_id: int
+    size: float
+    t_emit: float
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be > 0, got {self.size}")
+        if self.t_emit < 0:
+            raise ValueError(f"t_emit must be >= 0, got {self.t_emit}")

@@ -1,0 +1,205 @@
+"""Whole-tree multicast simulation (packet replication at every host).
+
+The figure harness reduces each group tree to its critical path
+(Theorem 7's worst-case construction).  This module simulates the
+*entire* tree instead: every member host runs the full regulated
+pipeline (per-flow regulators + MUX) and replicates each forwarded
+packet to all of its children over the underlay latencies.  It is the
+ground truth the critical-path reduction is validated against in
+``tests/test_tree_sim.py`` -- and a realistic substrate in its own
+right (per-receiver delays, loss hooks, churn interplay).
+
+Cost: events scale with (members x packets x K), so whole-tree runs
+target small-to-medium configurations; the sweeps use the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.overlay.tree import MulticastTree
+from repro.simulation.engine import Simulator
+from repro.simulation.flow import PacketTrace
+from repro.simulation.host_sim import MODES, build_regulated_host
+from repro.simulation.measures import DelayStats
+from repro.simulation.packet import Packet
+
+__all__ = ["TreeSimResult", "simulate_multicast_tree"]
+
+
+@dataclass(frozen=True)
+class TreeSimResult:
+    """Outcome of a whole-tree multicast simulation for one group."""
+
+    group: int
+    mode: str
+    worst_case_delay: float
+    worst_receiver: int
+    per_receiver_worst: dict[int, float]
+    events: int
+
+    def stats(self) -> DelayStats:
+        return DelayStats.from_delays(
+            np.asarray(list(self.per_receiver_worst.values()))
+        )
+
+
+class _Replicator:
+    """Fan a served packet out to every child entry (plus local delivery)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: int,
+        flow_id: int,
+        children_entries: Sequence[tuple[int, object, float]],
+        deliver,
+    ):
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.children_entries = children_entries  # (child, entry, latency)
+        self.deliver = deliver
+
+    def receive(self, packet: Packet) -> None:
+        # Local delivery at this host (it is a receiver too).
+        self.deliver(self.host, self.flow_id, packet)
+        for child, entry, latency in self.children_entries:
+            copy = Packet(
+                flow_id=packet.flow_id,
+                size=packet.size,
+                t_emit=packet.t_emit,
+                hops=packet.hops + 1,
+            )
+            self.sim.schedule_in(latency, entry.receive, copy)
+
+
+def simulate_multicast_tree(
+    trees: Sequence[MulticastTree],
+    group: int,
+    traces: Sequence[PacketTrace],
+    envelopes: Sequence[ArrivalEnvelope],
+    latency: np.ndarray,
+    *,
+    mode: str = "sigma-rho",
+    capacity: float = 1.0,
+    discipline: str = "fifo",
+    horizon: Optional[float] = None,
+    host_capacity: Optional[Mapping[int, float]] = None,
+) -> TreeSimResult:
+    """Simulate group ``group``'s flow over its full tree.
+
+    Every member of the group's tree instantiates the regulated host
+    pipeline for all K flows (it joined every group, per the paper's
+    Simulation II population): the group's own flow arrives from its
+    tree parent and is replicated to its children; the other K-1 flows
+    enter locally as cross traffic (their own trees are independent).
+
+    Parameters
+    ----------
+    trees:
+        One tree per group (only ``trees[group]`` is walked; the others
+        define which flows exist).
+    group:
+        Index of the simulated group (the tagged flow).
+    traces, envelopes:
+        Per-group packet traces and (sigma, rho) descriptions.
+    latency:
+        Host-to-host one-way underlay latency matrix.
+    mode, capacity, discipline:
+        Regulated-host pipeline configuration (see
+        :func:`repro.simulation.host_sim.build_regulated_host`).
+    host_capacity:
+        Optional per-host MUX capacity override (capacity-aware runs).
+
+    Returns
+    -------
+    TreeSimResult
+        Per-receiver worst-case delays of the tagged flow and the
+        network-wide worst case (the WDB of the paper).
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    tree = trees[group]
+    k = len(traces)
+    if len(envelopes) != k:
+        raise ValueError("traces and envelopes must align")
+    if horizon is None:
+        horizon = max(float(tr.times[-1]) for tr in traces if len(tr)) + 1e-9
+
+    sim = Simulator()
+    per_receiver: dict[int, float] = {}
+
+    def deliver(host: int, flow_id: int, packet: Packet) -> None:
+        if flow_id != group:
+            return
+        delay = sim.now - packet.t_emit
+        if delay > per_receiver.get(host, 0.0):
+            per_receiver[host] = delay
+
+    # Build hosts bottom-up so children entries exist before parents.
+    entries_by_host: dict[int, list] = {}
+    children = tree.children()
+    order = sorted(tree.members(), key=tree.depth, reverse=True)
+    # Flow order inside each host: tagged flow first (index 0) so the
+    # adversarial priority, when used, targets it.
+    env_order = [envelopes[group]] + [
+        envelopes[g] for g in range(k) if g != group
+    ]
+    for host in order:
+        child_entries = [
+            (c, entries_by_host[c][0], float(latency[host, c]))
+            for c in children[host]
+        ]
+        replicator = _Replicator(sim, host, group, child_entries, deliver)
+        sink_map: dict[int, object] = {0: replicator}
+        for f in range(1, k):
+            sink_map[f] = _Drop()
+        cap = capacity
+        if host_capacity is not None:
+            cap = float(host_capacity.get(host, capacity))
+        entries, _ = build_regulated_host(
+            sim, env_order, sink_map,
+            mode=mode, capacity=cap, discipline=discipline,
+            stagger_phase=(hash(host) % 997) / 997.0,
+        )
+        entries_by_host[host] = entries
+
+    # Inject the tagged flow at the root and the K-1 cross flows at
+    # every member (each host serves all K groups).
+    root_entry = entries_by_host[tree.root][0]
+    tagged = traces[group].restrict(horizon)
+    for t, s in zip(tagged.times, tagged.sizes):
+        sim.schedule(float(t), root_entry.receive,
+                     Packet(flow_id=0, size=float(s), t_emit=float(t)))
+    cross = [traces[g].restrict(horizon) for g in range(k) if g != group]
+    for host in tree.members():
+        for f, tr in enumerate(cross, start=1):
+            entry = entries_by_host[host][f]
+            for t, s in zip(tr.times, tr.sizes):
+                sim.schedule(float(t), entry.receive,
+                             Packet(flow_id=f, size=float(s), t_emit=float(t)))
+
+    sim.run()
+    if not per_receiver:
+        raise RuntimeError("no packet was delivered; empty trace?")
+    worst_host = max(per_receiver, key=lambda h: per_receiver[h])
+    return TreeSimResult(
+        group=group,
+        mode=mode,
+        worst_case_delay=per_receiver[worst_host],
+        worst_receiver=worst_host,
+        per_receiver_worst=dict(per_receiver),
+        events=sim.events_processed,
+    )
+
+
+class _Drop:
+    """Terminal sink for cross traffic."""
+
+    def receive(self, packet: Packet) -> None:  # noqa: D102 - trivial
+        pass

@@ -1,0 +1,28 @@
+"""Underlay topology substrate.
+
+The paper's Simulation II runs 665 end hosts attached to the 19-router
+backbone of its Fig. 5.  This subpackage builds that world:
+
+* :mod:`repro.topology.backbone` -- the Fig.-5-like backbone (hand-coded
+  adjacency approximating the figure) plus parameterised generators
+  (Waxman random graphs) for scaling studies;
+* :mod:`repro.topology.attach` -- attaching end hosts to backbone
+  routers with access-link latencies;
+* :mod:`repro.topology.routing` -- all-pairs shortest-path latencies and
+  host-to-host RTT matrices (the distance oracle DSCT/NICE cluster by).
+"""
+
+from repro.topology.attach import AttachedNetwork, attach_hosts
+from repro.topology.backbone import fig5_backbone, waxman_backbone
+from repro.topology.transit_stub import transit_stub_backbone
+from repro.topology.routing import host_rtt_matrix, router_distance_matrix
+
+__all__ = [
+    "fig5_backbone",
+    "waxman_backbone",
+    "transit_stub_backbone",
+    "attach_hosts",
+    "AttachedNetwork",
+    "router_distance_matrix",
+    "host_rtt_matrix",
+]

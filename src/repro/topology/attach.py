@@ -1,0 +1,129 @@
+"""Attaching end hosts to the backbone.
+
+"The 665 group members directly or indirectly through some intermediate
+network components (e.g., the hubs) attach to the routers in the
+backbone network" (Section VI-B).  :func:`attach_hosts` distributes
+``n`` hosts over the routers (uniformly or with a skew) and assigns
+each an access latency; the result is an :class:`AttachedNetwork`
+bundle consumed by the routing and overlay modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.backbone import validate_backbone
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["AttachedNetwork", "attach_hosts"]
+
+
+@dataclass(frozen=True)
+class AttachedNetwork:
+    """A backbone plus attached end hosts.
+
+    Attributes
+    ----------
+    backbone:
+        Router graph with ``latency`` edge attributes.
+    host_router:
+        ``host_router[h]`` is the backbone router host ``h`` attaches to.
+    access_latency:
+        ``access_latency[h]`` is the one-way host-router latency (s).
+    """
+
+    backbone: nx.Graph
+    host_router: np.ndarray
+    access_latency: np.ndarray
+
+    def __post_init__(self) -> None:
+        validate_backbone(self.backbone)
+        hr = np.asarray(self.host_router, dtype=np.int64)
+        al = np.asarray(self.access_latency, dtype=np.float64)
+        if hr.ndim != 1 or al.ndim != 1 or hr.shape != al.shape:
+            raise ValueError("host_router and access_latency must be 1-D and aligned")
+        routers = set(self.backbone.nodes)
+        if not set(hr.tolist()) <= routers:
+            raise ValueError("host_router references unknown routers")
+        if np.any(al <= 0):
+            raise ValueError("access latencies must be > 0")
+        object.__setattr__(self, "host_router", hr)
+        object.__setattr__(self, "access_latency", al)
+
+    @property
+    def n_hosts(self) -> int:
+        return int(self.host_router.shape[0])
+
+    @property
+    def n_routers(self) -> int:
+        return int(self.backbone.number_of_nodes())
+
+    def hosts_at_router(self, router: int) -> np.ndarray:
+        """Indices of hosts attached to ``router`` (a DSCT local domain)."""
+        return np.nonzero(self.host_router == router)[0]
+
+    def domains(self) -> dict[int, np.ndarray]:
+        """Mapping router -> attached hosts, omitting empty routers."""
+        out = {}
+        for r in self.backbone.nodes:
+            hosts = self.hosts_at_router(r)
+            if hosts.size:
+                out[int(r)] = hosts
+        return out
+
+
+def attach_hosts(
+    backbone: nx.Graph,
+    n_hosts: int,
+    *,
+    access_latency_range: tuple[float, float] = (0.001, 0.005),
+    skew: float = 0.0,
+    rng: RandomSource = None,
+) -> AttachedNetwork:
+    """Attach ``n_hosts`` end hosts to the backbone routers.
+
+    Parameters
+    ----------
+    backbone:
+        Router graph (see :mod:`repro.topology.backbone`).
+    n_hosts:
+        Number of end hosts (665 in the paper's Simulation II).
+    access_latency_range:
+        Uniform range of host-router one-way latencies in seconds
+        (LAN/hub scale, 1-5 ms default).
+    skew:
+        0 gives uniform attachment; larger values concentrate hosts on
+        a few routers (Zipf-like weights with exponent ``skew``),
+        modelling hot campuses.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    validate_backbone(backbone)
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    lo, hi = access_latency_range
+    check_positive(lo, "access_latency_range[0]")
+    if hi < lo:
+        raise ValueError("access_latency_range must be (low, high) with low <= high")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    gen = ensure_rng(rng)
+    routers = np.asarray(sorted(backbone.nodes), dtype=np.int64)
+    if skew == 0.0:
+        weights = np.ones(routers.shape[0])
+    else:
+        ranks = np.arange(1, routers.shape[0] + 1, dtype=np.float64)
+        weights = ranks ** (-skew)
+        gen.shuffle(weights)  # which router is "hot" is itself random
+    weights = weights / weights.sum()
+    host_router = routers[gen.choice(routers.shape[0], size=n_hosts, p=weights)]
+    access_latency = gen.uniform(lo, hi, size=n_hosts)
+    return AttachedNetwork(
+        backbone=backbone,
+        host_router=host_router,
+        access_latency=access_latency,
+    )

@@ -1,0 +1,60 @@
+"""Shortest-path latencies and host RTT matrices.
+
+DSCT and NICE cluster end hosts by round-trip time; the regulated
+chain simulations add per-hop underlay propagation.  Both need a
+distance oracle, provided here as dense NumPy matrices computed once
+per topology (scipy's Dijkstra on the sparse router graph, then a
+broadcast over host attachments -- vectorised, no per-pair Python
+work).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.topology.attach import AttachedNetwork
+
+__all__ = ["router_distance_matrix", "host_rtt_matrix", "host_latency_matrix"]
+
+
+def router_distance_matrix(backbone: nx.Graph) -> np.ndarray:
+    """All-pairs one-way latency between routers (dense, seconds)."""
+    nodes = sorted(backbone.nodes)
+    index = {r: i for i, r in enumerate(nodes)}
+    n = len(nodes)
+    rows, cols, vals = [], [], []
+    for u, v, data in backbone.edges(data=True):
+        iu, iv = index[u], index[v]
+        rows += [iu, iv]
+        cols += [iv, iu]
+        vals += [data["latency"], data["latency"]]
+    adj = csr_matrix((vals, (rows, cols)), shape=(n, n))
+    dist = dijkstra(adj, directed=False)
+    if not np.all(np.isfinite(dist)):
+        raise ValueError("backbone is not connected")
+    return dist
+
+
+def host_latency_matrix(network: AttachedNetwork) -> np.ndarray:
+    """One-way host-to-host latency matrix (seconds).
+
+    ``lat[a, b] = access[a] + router_dist[r_a, r_b] + access[b]`` for
+    ``a != b`` and 0 on the diagonal.  Hosts on the same router are a
+    LAN apart (sum of access latencies) -- the locality DSCT exploits.
+    """
+    router_dist = router_distance_matrix(network.backbone)
+    nodes = sorted(network.backbone.nodes)
+    index = np.array([nodes.index(r) for r in network.host_router])
+    core = router_dist[np.ix_(index, index)]
+    acc = network.access_latency
+    lat = core + acc[:, None] + acc[None, :]
+    np.fill_diagonal(lat, 0.0)
+    return lat
+
+
+def host_rtt_matrix(network: AttachedNetwork) -> np.ndarray:
+    """Round-trip time matrix: twice the one-way latency."""
+    return 2.0 * host_latency_matrix(network)

@@ -1,0 +1,111 @@
+"""Transit-stub topology generation (GT-ITM style).
+
+The Fig-5 backbone is a single flat domain; Internet-scale EMcast
+studies (the paper's future-work PlanetLab deployment) run on
+*transit-stub* topologies: a small well-connected transit core whose
+routers each anchor several dense, low-latency stub domains.  DSCT's
+local-domain machinery maps directly onto the stubs.
+
+:func:`transit_stub_backbone` produces such graphs with ``latency``
+edge attributes compatible with the rest of :mod:`repro.topology`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.backbone import validate_backbone, waxman_backbone
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["transit_stub_backbone"]
+
+
+def transit_stub_backbone(
+    n_transit: int = 4,
+    stubs_per_transit: int = 3,
+    stub_size: int = 4,
+    *,
+    transit_latency: float = 0.020,
+    stub_latency: float = 0.002,
+    uplink_latency: float = 0.008,
+    extra_stub_edges: float = 0.5,
+    rng: RandomSource = None,
+) -> nx.Graph:
+    """Generate a two-level transit-stub router topology.
+
+    Parameters
+    ----------
+    n_transit:
+        Routers in the transit core (a Waxman graph at
+        ``transit_latency`` scale).
+    stubs_per_transit, stub_size:
+        Each transit router anchors this many stub domains of this many
+        routers each.
+    transit_latency, stub_latency, uplink_latency:
+        Latency scales of core links, intra-stub links and
+        stub-to-transit uplinks.
+    extra_stub_edges:
+        Expected number of extra random intra-stub edges per stub
+        (beyond the ring that guarantees connectivity).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    networkx.Graph
+        Routers numbered 0..N-1; transit routers first.  Node attribute
+        ``tier`` is ``"transit"`` or ``"stub"``; stub nodes carry a
+        ``domain`` id.
+    """
+    if n_transit < 2:
+        raise ValueError("need at least 2 transit routers")
+    if stubs_per_transit < 1 or stub_size < 1:
+        raise ValueError("stubs_per_transit and stub_size must be >= 1")
+    check_positive(transit_latency, "transit_latency")
+    check_positive(stub_latency, "stub_latency")
+    check_positive(uplink_latency, "uplink_latency")
+    if extra_stub_edges < 0:
+        raise ValueError("extra_stub_edges must be >= 0")
+    gen = ensure_rng(rng)
+
+    core = waxman_backbone(
+        n_transit, core_latency=transit_latency, rng=gen
+    )
+    g = nx.Graph(name="transit-stub")
+    for u, v, data in core.edges(data=True):
+        g.add_edge(u, v, **data)
+    for t in core.nodes:
+        g.nodes[t]["tier"] = "transit"
+
+    next_id = n_transit
+    domain = 0
+    for t in range(n_transit):
+        for _ in range(stubs_per_transit):
+            nodes = list(range(next_id, next_id + stub_size))
+            next_id += stub_size
+            for node in nodes:
+                g.add_node(node, tier="stub", domain=domain)
+            # Ring for connectivity (a single node needs no edges).
+            for a, b in zip(nodes, nodes[1:]):
+                g.add_edge(a, b, latency=float(gen.uniform(0.5, 1.5)) * stub_latency)
+            # Random chords.
+            n_extra = gen.poisson(extra_stub_edges)
+            for _ in range(n_extra):
+                if len(nodes) < 3:
+                    break
+                a, b = gen.choice(nodes, size=2, replace=False)
+                if not g.has_edge(int(a), int(b)):
+                    g.add_edge(
+                        int(a), int(b),
+                        latency=float(gen.uniform(0.5, 1.5)) * stub_latency,
+                    )
+            # Uplink: the stub's first router homes to the transit node.
+            g.add_edge(
+                nodes[0], t,
+                latency=float(gen.uniform(0.7, 1.3)) * uplink_latency,
+            )
+            domain += 1
+    validate_backbone(g)
+    return g

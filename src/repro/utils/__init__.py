@@ -1,0 +1,54 @@
+"""Shared utilities for the reproduction library.
+
+This subpackage hosts the small, dependency-free building blocks used
+throughout :mod:`repro`:
+
+* :mod:`repro.utils.units` -- unit conversions (bit rates, data amounts,
+  time) and the normalisation conventions used by the paper (link
+  capacity ``C = 1``).
+* :mod:`repro.utils.validation` -- argument-checking helpers with
+  consistent error messages.
+* :mod:`repro.utils.rng` -- seeded random-number-generator plumbing so
+  every simulation and tree construction is reproducible.
+* :mod:`repro.utils.piecewise` -- vectorised piecewise-linear cumulative
+  curves, the workhorse data structure behind the network-calculus and
+  fluid-simulation code.
+"""
+
+from repro.utils.piecewise import PiecewiseLinearCurve
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rngs
+from repro.utils.units import (
+    BITS_PER_BYTE,
+    KBPS,
+    MBPS,
+    bits_to_megabits,
+    megabits_to_bits,
+    normalize_rate,
+    normalized_to_rate,
+    seconds_to_ms,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "PiecewiseLinearCurve",
+    "RandomSource",
+    "ensure_rng",
+    "spawn_rngs",
+    "BITS_PER_BYTE",
+    "KBPS",
+    "MBPS",
+    "bits_to_megabits",
+    "megabits_to_bits",
+    "normalize_rate",
+    "normalized_to_rate",
+    "seconds_to_ms",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

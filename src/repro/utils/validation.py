@@ -1,0 +1,93 @@
+"""Argument-checking helpers with consistent error messages.
+
+These helpers keep validation one-liners at public API boundaries while
+producing uniform, actionable ``ValueError``/``TypeError`` messages.  They
+all return the validated value so they can be used inline::
+
+    self.rate = check_positive(rate, "rate")
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` (and finite)."""
+    value = _check_finite_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0`` (and finite)."""
+    value = _check_finite_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    value = _check_finite_number(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Require ``value`` to lie in the given (by default closed) interval."""
+    value = _check_finite_number(value, name)
+    low_ok = value >= low if inclusive_low else value > low
+    high_ok = value <= high if inclusive_high else value < high
+    if not (low_ok and high_ok):
+        lo_b = "[" if inclusive_low else "("
+        hi_b = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Require ``value`` to be an integer ``>= 1``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Require ``value`` to be an integer ``>= 0``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Require two sequences to have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

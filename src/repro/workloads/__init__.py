@@ -1,0 +1,24 @@
+"""The paper's traffic workloads.
+
+Section VI uses two stream types -- **64 kbps audio** and **1.5 Mbps
+MPEG-1 video** -- in three mixes: three audio streams, three video
+streams, and one video plus two audio ("heterogeneous").  This package
+provides those presets plus the utilisation scaling that sweeps the
+x-axis of Figures 4 and 6.
+"""
+
+from repro.workloads.profiles import (
+    AUDIO_MIX,
+    HETEROGENEOUS_MIX,
+    VIDEO_MIX,
+    TrafficMix,
+    make_mix,
+)
+
+__all__ = [
+    "TrafficMix",
+    "make_mix",
+    "AUDIO_MIX",
+    "VIDEO_MIX",
+    "HETEROGENEOUS_MIX",
+]

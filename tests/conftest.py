@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.groups import MultiGroupNetwork
+from repro.topology.attach import attach_hosts
+from repro.topology.backbone import fig5_backbone
+from repro.topology.routing import host_rtt_matrix
+
+
+@pytest.fixture(scope="session")
+def backbone():
+    return fig5_backbone()
+
+
+@pytest.fixture(scope="session")
+def small_network(backbone):
+    """60 hosts on the Fig-5 backbone (small but multi-domain)."""
+    return attach_hosts(backbone, 60, rng=123)
+
+
+@pytest.fixture(scope="session")
+def small_rtt(small_network):
+    return host_rtt_matrix(small_network)
+
+
+@pytest.fixture(scope="session")
+def small_mgn(small_network):
+    return MultiGroupNetwork.fully_joined(small_network, 3, rng=123)
+
+
+@pytest.fixture(scope="session")
+def paper_network(backbone):
+    """The paper-scale 665-host attachment (session-cached; ~0.1 s)."""
+    return attach_hosts(backbone, 665, rng=2006)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,63 @@
+"""Co-existing background traffic (conclusion scenario)."""
+
+import pytest
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.simulation.background import simulate_host_with_background
+from repro.simulation.flow import CBRSource, VBRVideoSource
+from repro.simulation.fluid import simulate_fluid_host
+
+
+def scenario(u_groups=0.6, bg_rate=0.2, horizon=6.0):
+    k = 3
+    rho = u_groups / k
+    stream = VBRVideoSource(rho).generate(horizon, rng=21).fragment(0.002)
+    envs = [ArrivalEnvelope(max(stream.empirical_sigma(rho), 1e-6), rho)] * k
+    bg = CBRSource(bg_rate, 0.002).generate(horizon)
+    return [stream] * k, envs, [bg], [bg_rate]
+
+
+class TestBackground:
+    def test_runs_and_measures(self):
+        traces, envs, bg, rates = scenario()
+        res = simulate_host_with_background(traces, envs, bg, rates)
+        assert res.worst_case_delay > 0
+        assert res.background_rate == pytest.approx(0.2)
+        assert res.residual_capacity == pytest.approx(0.8)
+        assert len(res.per_flow_worst) == 3
+
+    def test_background_increases_group_delays(self):
+        traces, envs, bg, rates = scenario()
+        with_bg = simulate_host_with_background(
+            traces, envs, bg, rates, mode="sigma-rho"
+        )
+        without = simulate_fluid_host(
+            traces, envs, mode="sigma-rho", discipline="adversarial", dt=1e-3
+        )
+        assert with_bg.worst_case_delay >= without.worst_case_delay - 1e-6
+
+    def test_adaptive_mode_uses_residual_capacity(self):
+        """A group load that is light on the full link but heavy on the
+        residual capacity must flip the controller to the lambda mode."""
+        # Group aggregate 0.55 of C=1 -> rho_bar well below the 0.79
+        # threshold on the full link, but 0.55/0.6 ~ 0.92 of the
+        # residual once the background takes 0.4.
+        traces, envs, bg, rates = scenario(u_groups=0.55, bg_rate=0.4)
+        res = simulate_host_with_background(traces, envs, bg, rates)
+        assert res.mode == "sigma-rho-lambda"
+        light = simulate_fluid_host(
+            traces, envs, mode="adaptive", discipline="adversarial", dt=2e-3
+        )
+        assert light.mode == "sigma-rho"
+
+    def test_saturating_background_rejected(self):
+        traces, envs, bg, rates = scenario(bg_rate=1.0)
+        with pytest.raises(ValueError, match="saturates"):
+            simulate_host_with_background(traces, envs, bg, [1.0])
+
+    def test_misaligned_inputs_rejected(self):
+        traces, envs, bg, rates = scenario()
+        with pytest.raises(ValueError):
+            simulate_host_with_background(traces, envs[:-1], bg, rates)
+        with pytest.raises(ValueError):
+            simulate_host_with_background(traces, envs, bg, [])

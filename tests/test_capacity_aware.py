@@ -1,0 +1,114 @@
+"""Capacity-aware tree variants: degree bounds and height growth."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.capacity_aware import (
+    capacity_aware_dsct,
+    capacity_aware_nice,
+    capacity_degree_bound,
+)
+from repro.topology.attach import attach_hosts
+from repro.topology.backbone import fig5_backbone
+from repro.topology.routing import host_rtt_matrix
+
+
+@pytest.fixture(scope="module")
+def world():
+    bb = fig5_backbone()
+    net = attach_hosts(bb, 100, rng=31)
+    rtt = host_rtt_matrix(net)
+    gen = np.random.default_rng(31)
+    caps = gen.uniform(4.0, 10.0, size=100)
+    return net, rtt, caps
+
+
+def _capacity_violations(tree, caps, u):
+    """Non-root hosts whose fan-out exceeds their degree bound.
+
+    The builder preserves connectivity over the cap when a whole layer
+    has exhausted its budget, so the guarantee is 'no violations while
+    any capacity remains' -- the tests require zero at moderate load.
+    """
+    out = []
+    for h, fan in tree.fanout().items():
+        if h == tree.root:
+            continue  # the re-rooting graft may add one child
+        bound = capacity_degree_bound(caps[h], u)
+        if fan > bound:
+            out.append((h, fan, bound))
+    return out
+
+
+class TestDegreeBound:
+    def test_fig1_example(self):
+        """C = 5 rho, two groups: floor(5rho / 2rho) = 2 children."""
+        assert capacity_degree_bound(5.0, 2.0) == 2
+
+    def test_single_group_fig1(self):
+        assert capacity_degree_bound(5.0, 1.0) == 5
+
+    def test_minimum_one(self):
+        assert capacity_degree_bound(0.5, 2.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_degree_bound(0.0, 1.0)
+        with pytest.raises(ValueError):
+            capacity_degree_bound(1.0, 0.0)
+
+
+class TestCapacityAwareDsct:
+    def test_covers_members(self, world):
+        net, rtt, caps = world
+        t = capacity_aware_dsct(
+            0, list(range(100)), rtt, net.host_router, caps, 0.6, rng=1
+        )
+        assert t.members() == set(range(100))
+        assert t.root == 0
+
+    def test_fanout_respects_capacity(self, world):
+        net, rtt, caps = world
+        u = 0.6
+        t = capacity_aware_dsct(
+            0, list(range(100)), rtt, net.host_router, caps, u, rng=2
+        )
+        violations = _capacity_violations(t, caps, u)
+        assert violations == []
+
+    def test_height_grows_with_rate(self, world):
+        """The Table I-III phenomenon at tree level."""
+        net, rtt, caps = world
+        heights = []
+        for u in (0.35, 0.65, 0.95):
+            hs = []
+            for seed in range(3):
+                t = capacity_aware_dsct(
+                    0, list(range(100)), rtt, net.host_router, caps, u, rng=seed
+                )
+                hs.append(t.height)
+            heights.append(np.mean(hs))
+        assert heights[-1] > heights[0]
+
+    def test_reproducible(self, world):
+        net, rtt, caps = world
+        a = capacity_aware_dsct(
+            0, list(range(60)), rtt, net.host_router, caps, 0.5, rng=9
+        )
+        b = capacity_aware_dsct(
+            0, list(range(60)), rtt, net.host_router, caps, 0.5, rng=9
+        )
+        assert a.parent == b.parent
+
+
+class TestCapacityAwareNice:
+    def test_covers_members(self, world):
+        net, rtt, caps = world
+        t = capacity_aware_nice(0, list(range(100)), rtt, caps, 0.6, rng=1)
+        assert t.members() == set(range(100))
+
+    def test_fanout_respects_capacity(self, world):
+        net, rtt, caps = world
+        u = 0.8
+        t = capacity_aware_nice(0, list(range(100)), rtt, caps, u, rng=3)
+        assert _capacity_violations(t, caps, u) == []

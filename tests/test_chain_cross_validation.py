@@ -1,0 +1,54 @@
+"""DES chain vs fluid chain on identical inputs (backend agreement)."""
+
+import pytest
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.simulation.chain import simulate_regulated_chain
+from repro.simulation.flow import VBRVideoSource
+from repro.simulation.fluid import simulate_fluid_chain
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    u, k = 0.8, 3
+    rho = u / k
+    stream = VBRVideoSource(rho).generate(4.0, rng=33).fragment(0.002)
+    sigma = max(stream.empirical_sigma(rho), 1e-6)
+    envs = [ArrivalEnvelope(sigma, rho)] * k
+    return stream, envs
+
+
+@pytest.mark.parametrize("mode", ["sigma-rho", "sigma-rho-lambda"])
+def test_backends_agree_on_chains(scenario, mode):
+    """The DES chain's physical end-to-end delay must sit between the
+    fluid FIFO end-to-end and the Theorem-7 adversarial accounting."""
+    stream, envs = scenario
+    hops = 3
+    cross = [[stream, stream]] * hops
+    fluid = simulate_fluid_chain(
+        stream, cross, envs, mode=mode, discipline="adversarial", dt=1e-3,
+    )
+    des = simulate_regulated_chain(
+        stream, cross, envs, mode=mode, discipline="fifo",
+    )
+    # Same order of magnitude: the DES sees discrete packets and
+    # non-preemptive windows (each hop can add up to a packet+window
+    # slack over the fluid continuum), so allow a generous envelope
+    # around the fluid Theorem-7 accounting.
+    assert des.worst_case_delay <= fluid.worst_case_delay * 1.4 + 0.1
+    # And the two FIFO measurements agree within backend tolerance.
+    assert des.worst_case_delay == pytest.approx(
+        fluid.fifo_end_to_end, rel=0.5, abs=0.08
+    )
+
+
+def test_des_adversarial_chain_dominates_fifo(scenario):
+    stream, envs = scenario
+    cross = [[stream, stream]] * 2
+    fifo = simulate_regulated_chain(
+        stream, cross, envs, mode="sigma-rho", discipline="fifo",
+    )
+    adv = simulate_regulated_chain(
+        stream, cross, envs, mode="sigma-rho", discipline="adversarial",
+    )
+    assert adv.worst_case_delay >= fifo.worst_case_delay - 1e-9

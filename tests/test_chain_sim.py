@@ -1,0 +1,146 @@
+"""Multi-hop chain simulations (DES and fluid)."""
+
+import numpy as np
+import pytest
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.multicast_bounds import (
+    remark2_multicast_wdb_homogeneous,
+    theorem8_multicast_wdb_homogeneous,
+)
+from repro.simulation.chain import simulate_regulated_chain
+from repro.simulation.flow import VBRVideoSource
+from repro.simulation.fluid import simulate_fluid_chain
+
+
+def chain_scenario(u, k=3, horizon=4.0, seed=21):
+    rho = u / k
+    src = VBRVideoSource(rho, scene_strength=0.15, scene_persistence=0.9)
+    trace = src.generate(horizon, rng=seed).fragment(0.002)
+    sigma = max(trace.empirical_sigma(rho), 1e-6)
+    envs = [ArrivalEnvelope(sigma, rho)] * k
+    return trace, envs, sigma, rho
+
+
+class TestFluidChain:
+    def test_delay_grows_with_hops(self):
+        trace, envs, *_ = chain_scenario(0.8)
+        results = []
+        for hops in (1, 3, 5):
+            res = simulate_fluid_chain(
+                trace, [[trace, trace]] * hops, envs,
+                mode="sigma-rho", discipline="adversarial", dt=2e-3,
+            )
+            results.append(res.worst_case_delay)
+        assert results[0] < results[1] < results[2]
+
+    def test_theorem8_accounting(self):
+        """Sum of per-hop worsts stays below (H-1) x per-hop bound."""
+        trace, envs, sigma, rho = chain_scenario(0.8)
+        hops = 4
+        res = simulate_fluid_chain(
+            trace, [[trace, trace]] * hops, envs,
+            mode="sigma-rho-lambda", discipline="adversarial", dt=2e-3,
+        )
+        bound = theorem8_multicast_wdb_homogeneous(hops + 1, 3, sigma, rho)
+        assert res.worst_case_delay <= bound * 1.01 + 5 * res.dt * hops
+
+    def test_remark2_accounting(self):
+        trace, envs, sigma, rho = chain_scenario(0.8)
+        hops = 4
+        res = simulate_fluid_chain(
+            trace, [[trace, trace]] * hops, envs,
+            mode="sigma-rho", discipline="adversarial", dt=2e-3,
+        )
+        bound = remark2_multicast_wdb_homogeneous(hops + 1, 3, sigma, rho)
+        assert res.worst_case_delay <= bound * 1.01 + 5 * res.dt * hops
+
+    def test_propagation_added(self):
+        # Single flow, no cross traffic: shifting the stream cannot
+        # change queueing, so propagation adds exactly.
+        trace, envs, *_ = chain_scenario(0.5)
+        env = [envs[0]]
+        base = simulate_fluid_chain(
+            trace, [[], []], env, mode="sigma-rho", dt=2e-3,
+        )
+        with_prop = simulate_fluid_chain(
+            trace, [[], []], env,
+            mode="sigma-rho", dt=2e-3, propagation=[0.05, 0.05],
+        )
+        assert with_prop.worst_case_delay == pytest.approx(
+            base.worst_case_delay + 0.1, abs=0.02
+        )
+        assert with_prop.propagation_total == pytest.approx(0.1)
+
+    def test_propagation_total_recorded(self):
+        trace, envs, *_ = chain_scenario(0.5)
+        res = simulate_fluid_chain(
+            trace, [[trace, trace]] * 2, envs,
+            mode="sigma-rho", dt=2e-3, propagation=[0.03, 0.07],
+        )
+        assert res.propagation_total == pytest.approx(0.1)
+
+    def test_fifo_e2e_below_theorem_accounting(self):
+        trace, envs, *_ = chain_scenario(0.8)
+        res = simulate_fluid_chain(
+            trace, [[trace, trace]] * 3, envs,
+            mode="sigma-rho", discipline="adversarial", dt=2e-3,
+        )
+        assert res.fifo_end_to_end <= res.worst_case_delay + 1e-6
+
+    def test_per_hop_capacities(self):
+        trace, envs, *_ = chain_scenario(0.5)
+        res = simulate_fluid_chain(
+            trace, [[trace, trace]] * 2, envs,
+            mode="none", dt=2e-3, capacity=[2.0, 1.0],
+        )
+        assert res.worst_case_delay >= 0
+        with pytest.raises(ValueError):
+            simulate_fluid_chain(
+                trace, [[trace, trace]] * 2, envs,
+                mode="none", dt=2e-3, capacity=[2.0],
+            )
+
+    def test_input_validation(self):
+        trace, envs, *_ = chain_scenario(0.5)
+        with pytest.raises(ValueError):
+            simulate_fluid_chain(trace, [], envs)
+        with pytest.raises(ValueError):
+            simulate_fluid_chain(trace, [[trace]], envs)  # needs K-1 cross
+
+
+class TestDesChain:
+    def test_runs_and_measures(self):
+        trace, envs, *_ = chain_scenario(0.7, horizon=2.0)
+        res = simulate_regulated_chain(
+            trace, [[trace, trace]] * 2, envs,
+            mode="sigma-rho", discipline="adversarial",
+        )
+        assert res.hops == 2
+        assert res.worst_case_delay > 0
+        assert res.tagged_stats.count == len(trace)
+
+    def test_delay_grows_with_hops(self):
+        trace, envs, *_ = chain_scenario(0.7, horizon=2.0)
+        r1 = simulate_regulated_chain(
+            trace, [[trace, trace]], envs, mode="sigma-rho",
+        )
+        r3 = simulate_regulated_chain(
+            trace, [[trace, trace]] * 3, envs, mode="sigma-rho",
+        )
+        assert r3.worst_case_delay > r1.worst_case_delay
+
+    def test_vacation_mode_runs_multi_hop(self):
+        trace, envs, *_ = chain_scenario(0.85, horizon=2.0)
+        res = simulate_regulated_chain(
+            trace, [[trace, trace]] * 2, envs,
+            mode="sigma-rho-lambda", discipline="fifo",
+        )
+        assert res.tagged_stats.count == len(trace)
+
+    def test_propagation_validation(self):
+        trace, envs, *_ = chain_scenario(0.5, horizon=1.0)
+        with pytest.raises(ValueError):
+            simulate_regulated_chain(
+                trace, [[trace, trace]] * 2, envs, propagation=[0.0],
+            )

@@ -1,0 +1,43 @@
+"""The repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+def test_theory_runs(capsys):
+    assert main(["theory"]) == 0
+    out = capsys.readouterr().out
+    assert "Rate thresholds" in out
+    assert "0.73" in out and "0.79" in out
+
+
+def test_fig4_quick(capsys):
+    assert main(["fig4a", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4(a)" in out
+    assert "crossover" in out
+
+
+def test_table_quick(capsys):
+    assert main(["table3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "Capacity-aware DSCT" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig9z"])
+
+
+def test_experiment_registry_complete():
+    for name in ("fig4a", "fig6c", "table1", "theory", "validate", "all"):
+        assert name in EXPERIMENTS
+
+
+def test_validate_quick(capsys):
+    assert main(["validate", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Measured vs analytic" in out
+    assert "unsound cells: 0" in out

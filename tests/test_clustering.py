@@ -1,0 +1,120 @@
+"""Proximity clustering: sizes, partition, core election."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.clustering import (
+    cluster_by_proximity,
+    draw_cluster_size,
+    elect_core,
+)
+from repro.utils.rng import ensure_rng
+
+
+def random_rtt(n, seed=0):
+    gen = np.random.default_rng(seed)
+    pos = gen.random((n, 2))
+    d = np.sqrt(((pos[:, None] - pos[None, :]) ** 2).sum(-1))
+    return d + d.T
+
+
+class TestDrawClusterSize:
+    def test_paper_rule_in_range(self, rng):
+        for _ in range(100):
+            s = draw_cluster_size(100, 3, rng)
+            assert 3 <= s <= 8  # [k, 3k-1]
+
+    def test_remainder_takes_all(self, rng):
+        # <= 3k-1 unassigned: the cluster absorbs everyone.
+        assert draw_cluster_size(5, 3, rng) == 5
+        assert draw_cluster_size(8, 3, rng) == 8
+
+    def test_max_size_caps(self, rng):
+        for _ in range(50):
+            assert draw_cluster_size(100, 3, rng, max_size=4) <= 4
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            draw_cluster_size(10, 1, rng)
+        with pytest.raises(ValueError):
+            draw_cluster_size(0, 3, rng)
+
+
+class TestClusterByProximity:
+    def test_partition_is_exact(self):
+        rtt = random_rtt(37)
+        clusters = cluster_by_proximity(list(range(37)), rtt, 3, rng=1)
+        seen = [m for c in clusters for m in c]
+        assert sorted(seen) == list(range(37))
+
+    def test_cluster_sizes_in_paper_range(self):
+        rtt = random_rtt(60)
+        clusters = cluster_by_proximity(list(range(60)), rtt, 3, rng=2)
+        # All but possibly the last remainder cluster obey [k, 3k-1].
+        for c in clusters[:-1]:
+            assert 1 <= len(c) <= 8
+
+    def test_clusters_are_proximal(self):
+        """Members of a cluster are nearer its seed than a random host
+        (on average) -- the 'closest hosts' rule."""
+        rtt = random_rtt(80, seed=3)
+        clusters = cluster_by_proximity(list(range(80)), rtt, 3, rng=3)
+        big = [c for c in clusters if len(c) >= 4]
+        assert big, "expected at least one non-trivial cluster"
+        for c in big[:5]:
+            seed = c[0]
+            inside = np.mean([rtt[seed, m] for m in c[1:]])
+            outside_hosts = [m for m in range(80) if m not in c]
+            outside = np.mean([rtt[seed, m] for m in outside_hosts])
+            assert inside <= outside
+
+    def test_reproducible(self):
+        rtt = random_rtt(30)
+        a = cluster_by_proximity(list(range(30)), rtt, 3, rng=7)
+        b = cluster_by_proximity(list(range(30)), rtt, 3, rng=7)
+        assert a == b
+
+    def test_respects_per_seed_cap(self):
+        rtt = random_rtt(40)
+        clusters = cluster_by_proximity(
+            list(range(40)), rtt, 3, rng=4, size_cap_per_seed=lambda h: 3
+        )
+        assert all(len(c) <= 3 for c in clusters)
+
+
+class TestElectCore:
+    def test_medoid_minimises_total_rtt(self):
+        rtt = random_rtt(10)
+        cluster = [0, 3, 5, 7]
+        core = elect_core(cluster, rtt)
+        sums = {m: sum(rtt[m, x] for x in cluster) for m in cluster}
+        assert sums[core] == min(sums.values())
+
+    def test_prefer_member_wins(self):
+        rtt = random_rtt(10)
+        assert elect_core([0, 3, 5], rtt, prefer=5) == 5
+
+    def test_prefer_non_member_ignored(self):
+        rtt = random_rtt(10)
+        core = elect_core([0, 3], rtt, prefer=9)
+        assert core in (0, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            elect_core([], random_rtt(3))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_clustering_always_partitions(n, k, seed):
+    rtt = random_rtt(n, seed=seed % 7)
+    clusters = cluster_by_proximity(list(range(n)), rtt, k, rng=seed)
+    members = sorted(m for c in clusters for m in c)
+    assert members == list(range(n))
+    assert all(len(c) >= 1 for c in clusters)

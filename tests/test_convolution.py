@@ -1,0 +1,98 @@
+"""Min-plus algebra vs the closed forms of the service module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus.convolution import (
+    backlog_bound_curves,
+    delay_bound_curves,
+    min_plus_convolve,
+    min_plus_deconvolve,
+)
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.calculus.service import (
+    LatencyRateServer,
+    backlog_bound,
+    delay_bound,
+    output_envelope,
+)
+from repro.utils.piecewise import PiecewiseLinearCurve as PLC
+
+HORIZON = 8.0
+N = 512
+GRID = HORIZON / N
+
+
+class TestConvolve:
+    def test_latency_rate_concatenation_matches_closed_form(self):
+        """beta1 (*) beta2 = beta_{min(R), T1+T2} (tested on the grid)."""
+        a = LatencyRateServer(rate=2.0, latency=0.5)
+        b = LatencyRateServer(rate=1.0, latency=0.25)
+        conv = min_plus_convolve(
+            a.as_curve(HORIZON), b.as_curve(HORIZON), HORIZON, N
+        )
+        closed = a.concatenate(b).as_curve(HORIZON)
+        t = np.linspace(0, HORIZON * 0.5, 40)  # stay well inside the domain
+        assert np.allclose(conv.evaluate(t), closed.evaluate(t), atol=3 * GRID)
+
+    def test_convolution_with_zero_latency_identity(self):
+        """beta_{inf-ish, 0} acts as (near) identity on a curve."""
+        f = PLC.from_segments(0.0, 0.0, [2.0, 6.0], [1.0, 0.25])
+        ident = LatencyRateServer(rate=1e6).as_curve(HORIZON)
+        conv = min_plus_convolve(f, ident, HORIZON, N)
+        t = np.linspace(0, HORIZON * 0.5, 20)
+        assert np.allclose(conv.evaluate(t), f.evaluate(t), atol=3 * GRID * 1e0)
+
+    def test_commutativity(self):
+        f = LatencyRateServer(rate=1.5, latency=0.3).as_curve(HORIZON)
+        g = LatencyRateServer(rate=0.8, latency=0.6).as_curve(HORIZON)
+        t = np.linspace(0, HORIZON * 0.5, 25)
+        fg = min_plus_convolve(f, g, HORIZON, N).evaluate(t)
+        gf = min_plus_convolve(g, f, HORIZON, N).evaluate(t)
+        assert np.allclose(fg, gf, atol=1e-9)
+
+
+class TestDeconvolve:
+    def test_output_envelope_matches_closed_form(self):
+        """alpha (/) beta for affine alpha and latency-rate beta gives
+        (sigma + rho T, rho) -- the service-module closed form."""
+        env = ArrivalEnvelope(0.5, 0.4)
+        srv = LatencyRateServer(rate=1.0, latency=0.5)
+        dec = min_plus_deconvolve(
+            env.as_curve(2 * HORIZON), srv.as_curve(2 * HORIZON), HORIZON, N
+        )
+        closed = output_envelope(env, srv)
+        t = np.linspace(0.0, HORIZON * 0.4, 30)
+        expected = closed.sigma + closed.rho * t
+        assert np.allclose(dec.evaluate(t), expected, atol=5 * GRID)
+
+
+class TestBoundsViaCurves:
+    @given(
+        sigma=st.floats(min_value=0.05, max_value=2.0),
+        rho=st.floats(min_value=0.05, max_value=0.8),
+        rate=st.floats(min_value=0.9, max_value=3.0),
+        latency=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hdev_vdev_match_closed_forms(self, sigma, rho, rate, latency):
+        env = ArrivalEnvelope(sigma, rho)
+        srv = LatencyRateServer(rate=rate, latency=latency)
+        horizon = 20.0 * max(1.0, sigma)
+        alpha = env.as_curve(horizon)
+        beta = srv.as_curve(horizon)
+        d = delay_bound_curves(alpha, beta)
+        b = backlog_bound_curves(alpha, beta)
+        assert d == pytest.approx(delay_bound(env, srv), rel=1e-6, abs=1e-9)
+        assert b == pytest.approx(backlog_bound(env, srv), rel=1e-6, abs=1e-9)
+
+
+class TestValidation:
+    def test_bad_grid_rejected(self):
+        f = PLC([0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            min_plus_convolve(f, f, 1.0, 0)
+        with pytest.raises(ValueError):
+            min_plus_convolve(f, f, -1.0, 16)

@@ -1,0 +1,161 @@
+"""Section-IV delay bounds: Lemma 1, Theorems 1/2/5/6, Remark 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay_bounds import (
+    improvement_ratio_heterogeneous,
+    improvement_ratio_homogeneous,
+    lemma1_regulator_delay,
+    reduced_sigma_star,
+    remark1_wdb_heterogeneous,
+    remark1_wdb_homogeneous,
+    theorem1_wdb_heterogeneous,
+    theorem2_wdb_homogeneous,
+    theorem5_band,
+    theorem5_ratio_intermediate,
+    theorem5_ratio_lower_bound,
+)
+from repro.core.threshold import homogeneous_threshold
+
+
+class TestLemma1:
+    def test_conformant_input(self):
+        # sigma* <= sigma: only the 2 lambda sigma / rho term remains.
+        d = lemma1_regulator_delay(sigma_star=0.5, sigma=1.0, rho=0.25)
+        lam = 1 / 0.75
+        assert d == pytest.approx(2 * lam * 1.0 / 0.25)
+
+    def test_excess_burst_term(self):
+        d = lemma1_regulator_delay(sigma_star=2.0, sigma=1.0, rho=0.5)
+        assert d == pytest.approx(1.0 / 0.5 + 2 * 2.0 * 1.0 / 0.5)
+
+    def test_custom_lambda(self):
+        d = lemma1_regulator_delay(0.0, 1.0, 0.5, lam=4.0)
+        assert d == pytest.approx(2 * 4.0 * 1.0 / 0.5)
+
+
+class TestReducedSigmaStar:
+    def test_equalises_regulator_periods(self):
+        """The whole point of sigma_i*: every flow shares one period."""
+        sigmas = [0.2, 0.05, 0.4]
+        rhos = [0.1, 0.3, 0.2]
+        stars = reduced_sigma_star(sigmas, rhos)
+        periods = [
+            s / (r * (1 - r)) for s, r in zip(stars, rhos)
+        ]
+        assert all(p == pytest.approx(periods[0]) for p in periods)
+
+    def test_never_exceeds_original_sigma(self):
+        sigmas = [0.2, 0.05, 0.4]
+        rhos = [0.1, 0.3, 0.2]
+        for s, s_star in zip(sigmas, reduced_sigma_star(sigmas, rhos)):
+            assert s_star <= s + 1e-12
+
+    def test_homogeneous_identity(self):
+        stars = reduced_sigma_star([0.1] * 3, [0.2] * 3)
+        assert all(s == pytest.approx(0.1) for s in stars)
+
+
+class TestTheorem2:
+    def test_formula(self):
+        k, sigma, rho = 3, 0.1, 0.2
+        lam = 1 / 0.8
+        expected = 3 * 0.1 / 0.8 + 2 * lam * 0.1 / 0.2
+        assert theorem2_wdb_homogeneous(k, sigma, rho) == pytest.approx(expected)
+
+    def test_sigma0_excess(self):
+        base = theorem2_wdb_homogeneous(3, 0.1, 0.2)
+        with_excess = theorem2_wdb_homogeneous(3, 0.1, 0.2, sigma0=0.15)
+        assert with_excess == pytest.approx(base + 0.05 / 0.2)
+
+    def test_unstable_is_inf(self):
+        assert theorem2_wdb_homogeneous(3, 0.1, 0.4) == float("inf")
+
+
+class TestTheorem1:
+    def test_homogeneous_reduction(self):
+        """With identical flows Theorem 1 reduces to Theorem 2."""
+        k, sigma, rho = 4, 0.1, 0.15
+        t1 = theorem1_wdb_heterogeneous([sigma] * k, [rho] * k)
+        t2 = theorem2_wdb_homogeneous(k, sigma, rho)
+        assert t1 == pytest.approx(t2)
+
+    def test_unstable_is_inf(self):
+        assert theorem1_wdb_heterogeneous([0.1, 0.1], [0.6, 0.6]) == float("inf")
+
+    def test_capacity_normalisation(self):
+        a = theorem1_wdb_heterogeneous([0.2, 0.1], [0.2, 0.3])
+        b = theorem1_wdb_heterogeneous([0.4, 0.2], [0.4, 0.6], capacity=2.0)
+        assert a == pytest.approx(b)
+
+
+class TestRemark1:
+    def test_forms_agree(self):
+        het = remark1_wdb_heterogeneous([0.1] * 3, [0.2] * 3)
+        hom = remark1_wdb_homogeneous(3, 0.1, 0.2)
+        assert het == pytest.approx(hom) == pytest.approx(0.3 / 0.4)
+
+
+class TestImprovementRatio:
+    def test_crossing_at_threshold(self):
+        """ratio < 1 below rho*, > 1 above (Theorems 3/4 restated)."""
+        k = 3
+        rho_star = homogeneous_threshold(k)
+        below = improvement_ratio_homogeneous(k, 0.1, rho_star * 0.8)
+        above = improvement_ratio_homogeneous(k, 0.1, rho_star * 1.1)
+        assert below < 1.0 < above
+
+    def test_ratio_independent_of_sigma_homogeneous(self):
+        """Both bounds scale linearly in sigma, so the ratio cancels it."""
+        k, rho = 3, 0.3
+        r1 = improvement_ratio_homogeneous(k, 0.01, rho)
+        r2 = improvement_ratio_homogeneous(k, 10.0, rho)
+        assert r1 == pytest.approx(r2)
+
+    def test_heterogeneous_ratio_positive(self):
+        r = improvement_ratio_heterogeneous([0.1, 0.2, 0.05], [0.3, 0.25, 0.2])
+        assert r > 0
+
+
+class TestTheorem5:
+    def test_band_edges(self):
+        lo, hi = theorem5_band(3, 1)
+        assert lo == pytest.approx(1 / 3 - 1 / 9)
+        assert hi == pytest.approx(1 / 3)
+
+    def test_ratio_exceeds_lower_bound_in_band(self):
+        """Theorem 6: Dg/D^g >= O(K^n) inside the heavy-load band."""
+        for k in (2, 3, 5, 8):
+            for n in (1, 2):
+                lo, hi = theorem5_band(k, n)
+                rho = (lo + hi) / 2
+                ratio = improvement_ratio_homogeneous(k, 0.05, rho)
+                assert ratio >= theorem5_ratio_lower_bound(k, n), (k, n)
+
+    def test_lower_bound_grows_like_k_to_n(self):
+        b1 = theorem5_ratio_lower_bound(10, 1)
+        b2 = theorem5_ratio_lower_bound(10, 2)
+        assert b2 / b1 == pytest.approx(10.0, rel=0.15)
+
+    def test_intermediate_bound_domain(self):
+        with pytest.raises(ValueError):
+            theorem5_ratio_intermediate(3, 0.5)
+        assert theorem5_ratio_intermediate(3, 0.3) > 0
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=3),
+        st.floats(min_value=0.0, max_value=1.0, exclude_min=True, exclude_max=True),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ratio_dominates_intermediate_bound(self, k, n, frac):
+        """The proof chain: exact ratio >= intermediate >= final bound."""
+        lo, hi = theorem5_band(k, n)
+        rho = lo + frac * (hi - lo) * 0.999
+        if rho <= 0 or rho >= 1 / k:
+            return
+        exact = improvement_ratio_homogeneous(k, 0.05, rho)
+        inter = theorem5_ratio_intermediate(k, rho)
+        assert exact >= inter * 0.99

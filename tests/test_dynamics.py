@@ -1,0 +1,150 @@
+"""Dynamic membership: joins, leaves, churn stability (+ hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.dynamics import ChurnSimulator, join_member, leave_member
+from repro.overlay.nice import build_nice_tree
+from repro.overlay.tree import MulticastTree
+
+
+def rtt_matrix(n, seed=0):
+    gen = np.random.default_rng(seed)
+    pos = gen.random((n, 2))
+    d = np.sqrt(((pos[:, None] - pos[None, :]) ** 2).sum(-1))
+    return d + d.T
+
+
+@pytest.fixture(scope="module")
+def world():
+    n = 60
+    rtt = rtt_matrix(n)
+    tree = build_nice_tree(0, list(range(40)), rtt, rng=1)
+    return n, rtt, tree
+
+
+class TestJoin:
+    def test_join_attaches_to_closest(self, world):
+        n, rtt, tree = world
+        new = 50
+        t2 = join_member(tree, new, rtt)
+        parent = t2.parent[new]
+        members = tree.members()
+        closest = min(members, key=lambda m: (rtt[new, m], m))
+        assert parent == closest
+        assert t2.size == tree.size + 1
+
+    def test_join_respects_fanout_cap(self, world):
+        n, rtt, tree = world
+        new = 51
+        cap = 2
+        t2 = join_member(tree, new, rtt, max_fanout=cap)
+        fan_before = tree.fanout()
+        parent = t2.parent[new]
+        assert fan_before.get(parent, 0) < cap
+
+    def test_join_existing_member_rejected(self, world):
+        n, rtt, tree = world
+        with pytest.raises(ValueError, match="already"):
+            join_member(tree, tree.root, rtt)
+
+    def test_join_fails_when_everyone_full(self):
+        rtt = rtt_matrix(5)
+        # A chain 0 -> 1 with fan-out cap 1: both members saturated
+        # (host 1 is a leaf but a cap of 0 forbids any children at all;
+        # with cap 1 only host 1 has room, so cap 0 is the full case).
+        tree = MulticastTree(root=0, parent={1: 0})
+        with pytest.raises(ValueError, match="spare fan-out"):
+            join_member(tree, 2, rtt, max_fanout=0)
+
+
+class TestLeave:
+    def test_leaf_leave_costs_nothing(self, world):
+        n, rtt, tree = world
+        leaf = next(m for m, c in tree.children().items() if not c)
+        t2, moves = leave_member(tree, leaf)
+        assert moves == 0
+        assert leaf not in t2.members()
+        assert t2.size == tree.size - 1
+
+    def test_interior_leave_reparents_children(self, world):
+        n, rtt, tree = world
+        interior = max(tree.children().items(), key=lambda kv: len(kv[1]))[0]
+        if interior == tree.root:
+            interior = next(
+                m for m, c in tree.children().items()
+                if c and m != tree.root
+            )
+        kids = tree.children()[interior]
+        gp = tree.parent[interior]
+        t2, moves = leave_member(tree, interior)
+        assert moves == len(kids)
+        for c in kids:
+            assert t2.parent[c] == gp
+
+    def test_root_leave_promotes_child(self, world):
+        n, rtt, tree = world
+        t2, _ = leave_member(tree, tree.root)
+        assert t2.root in tree.children()[tree.root]
+        assert t2.size == tree.size - 1
+
+    def test_leave_nonmember_rejected(self, world):
+        n, rtt, tree = world
+        with pytest.raises(ValueError, match="not a member"):
+            leave_member(tree, 59)
+
+    def test_cannot_empty_the_tree(self):
+        t = MulticastTree(root=0, parent={})
+        with pytest.raises(ValueError, match="last member"):
+            leave_member(t, 0)
+
+
+class TestChurn:
+    def test_simulator_keeps_invariants(self, world):
+        n, rtt, tree = world
+        standby = [m for m in range(n) if m not in tree.members()]
+        churn = ChurnSimulator(tree, rtt, standby)
+        stats = churn.run(100, rng=3)
+        assert stats.joins + stats.leaves == 100
+        # The surviving tree is still a valid rooted tree over its members.
+        t = churn.tree
+        assert len(t.critical_path()) == t.height
+        assert stats.stability >= 0.0
+        assert len(stats.height_trace) == 100
+
+    def test_overlapping_standby_rejected(self, world):
+        n, rtt, tree = world
+        with pytest.raises(ValueError, match="standby"):
+            ChurnSimulator(tree, rtt, [tree.root])
+
+    def test_reproducible(self, world):
+        n, rtt, tree = world
+        standby = [m for m in range(n) if m not in tree.members()]
+        a = ChurnSimulator(tree, rtt, list(standby)).run(50, rng=9)
+        b = ChurnSimulator(tree, rtt, list(standby)).run(50, rng=9)
+        assert a.height_trace == b.height_trace
+
+
+@given(
+    events=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_churn_never_corrupts_tree(events, seed):
+    """Property: any join/leave schedule leaves a valid tree."""
+    n = 30
+    rtt = rtt_matrix(n, seed=1)
+    tree = build_nice_tree(0, list(range(15)), rtt, rng=2)
+    standby = list(range(15, 30))
+    churn = ChurnSimulator(tree, rtt, standby, max_fanout=6)
+    churn.run(events, rng=seed)
+    t = churn.tree
+    # MulticastTree's constructor re-validates acyclicity/connectivity;
+    # additionally: membership bookkeeping must be consistent.
+    assert t.members().isdisjoint(churn.standby)
+    assert t.size + len(churn.standby) == n
+    # Fan-out cap honoured for joined hosts (leaves may have raised it
+    # through grandparent promotion, which real protocols also allow).
+    assert t.size >= 2

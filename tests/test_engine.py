@@ -1,0 +1,120 @@
+"""Discrete-event engine: ordering, determinism, cancellation."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(2.0, log.append, "b")
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(3.0, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_ties_break_by_priority_then_fifo():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "third", priority=1)
+    sim.schedule(1.0, log.append, "first", priority=0)
+    sim.schedule(1.0, log.append, "fourth", priority=1)
+    sim.schedule(1.0, log.append, "second", priority=0)
+    sim.run()
+    assert log == ["first", "second", "third", "fourth"]
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(5.0, log.append, "b")
+    sim.run(until=2.0)
+    assert log == ["a"]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert log == ["a", "b"]
+
+
+def test_schedule_in_is_relative():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, lambda: sim.schedule_in(0.5, lambda: out.append(sim.now)))
+    sim.run()
+    assert out == [pytest.approx(1.5)]
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError, match="past"):
+        sim.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_in(-1.0, lambda: None)
+
+
+def test_cancellation():
+    sim = Simulator()
+    log = []
+    ev = sim.schedule(1.0, log.append, "cancelled")
+    sim.schedule(2.0, log.append, "kept")
+    ev.cancel()
+    sim.run()
+    assert log == ["kept"]
+
+
+def test_cascading_events():
+    """Components schedule from within callbacks (the usual pattern)."""
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) < 5:
+            sim.schedule_in(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    assert ticks == [pytest.approx(i) for i in range(5)]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule_in(1e-9, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run(max_events=1000)
+
+
+def test_peek_time_and_pending():
+    sim = Simulator()
+    assert sim.peek_time() == float("inf")
+    ev = sim.schedule(3.0, lambda: None)
+    assert sim.peek_time() == pytest.approx(3.0)
+    assert sim.pending == 1
+    ev.cancel()
+    assert sim.peek_time() == float("inf")
+    assert sim.pending == 0
+
+
+def test_determinism_across_runs():
+    def run_once():
+        sim = Simulator()
+        log = []
+        for i in range(50):
+            sim.schedule((i * 37 % 10) / 10.0, log.append, i)
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,97 @@
+"""(sigma, rho) arrival envelopes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus.envelope import (
+    ArrivalEnvelope,
+    aggregate_envelope,
+    empirical_envelope,
+)
+from repro.utils.piecewise import PiecewiseLinearCurve as PLC
+
+
+class TestArrivalEnvelope:
+    def test_bound_is_affine(self):
+        e = ArrivalEnvelope(2.0, 0.5)
+        assert e.bound(0.0) == pytest.approx(2.0)
+        assert e.bound(4.0) == pytest.approx(4.0)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            ArrivalEnvelope(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            ArrivalEnvelope(1.0, -0.5)
+
+    def test_addition_superposes(self):
+        e = ArrivalEnvelope(1.0, 0.2) + ArrivalEnvelope(2.0, 0.3)
+        assert e.sigma == pytest.approx(3.0)
+        assert e.rho == pytest.approx(0.5)
+
+    def test_scaled(self):
+        e = ArrivalEnvelope(1.0, 0.2).scaled(10.0)
+        assert e.sigma == pytest.approx(10.0)
+        assert e.rho == pytest.approx(2.0)
+
+    def test_conforms_against_curve(self):
+        burst = PLC.from_packet_arrivals([0.0], [1.5])
+        assert ArrivalEnvelope(1.5, 0.1).conforms(burst)
+        assert not ArrivalEnvelope(1.0, 0.1).conforms(burst)
+
+    def test_violation_measures_excess(self):
+        burst = PLC.from_packet_arrivals([0.0], [1.5])
+        assert ArrivalEnvelope(1.0, 0.0).violation(burst) == pytest.approx(0.5)
+        assert ArrivalEnvelope(2.0, 0.0).violation(burst) == 0.0
+
+    def test_as_curve(self):
+        c = ArrivalEnvelope(1.0, 0.5).as_curve(4.0)
+        assert c(0.0) == pytest.approx(1.0)
+        assert c(4.0) == pytest.approx(3.0)
+
+    def test_burst_duration_is_vacation(self):
+        # V = sigma / rho, the paper's vacation period.
+        e = ArrivalEnvelope(0.05, 0.25)
+        assert e.burst_duration() == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            ArrivalEnvelope(1.0, 0.0).burst_duration()
+
+
+class TestAggregate:
+    def test_aggregates_sums(self):
+        agg = aggregate_envelope(
+            [ArrivalEnvelope(1.0, 0.1), ArrivalEnvelope(2.0, 0.2)]
+        )
+        assert agg.sigma == pytest.approx(3.0)
+        assert agg.rho == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_envelope([])
+
+
+class TestEmpirical:
+    def test_empirical_envelopes_are_tight_and_conformant(self):
+        c = PLC.from_packet_arrivals([0.0, 0.5, 1.0], [1.0, 0.5, 1.0])
+        for env in empirical_envelope(c, [0.1, 0.5, 1.0]):
+            assert env.conforms(c)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),
+                st.floats(min_value=0.01, max_value=2.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_envelope_monotone_in_rho(self, packets):
+        times = sorted(t for t, _ in packets)
+        sizes = [s for _, s in packets]
+        c = PLC.from_packet_arrivals(times, sizes)
+        envs = empirical_envelope(c, [0.0, 0.5, 1.0, 2.0])
+        sigmas = [e.sigma for e in envs]
+        # Larger sustained rate never needs a larger burst allowance.
+        assert all(a >= b - 1e-9 for a, b in zip(sigmas, sigmas[1:]))

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs and prints sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "sigma-rho-lambda" in out
+    assert "0.73" in out or "0.732" in out
+
+
+def test_tree_construction():
+    out = run_example("tree_construction.py")
+    assert "DSCT" in out and "NICE" in out
+    assert "capacity-aware" in out
+
+
+@pytest.mark.slow
+def test_single_host_regulation():
+    out = run_example("single_host_regulation.py")
+    assert "DES" in out and "fluid" in out and "analytic bound" in out
+
+
+@pytest.mark.slow
+def test_multigroup_streaming_small():
+    out = run_example("multigroup_streaming.py", "--hosts", "80", "--u", "0.9")
+    assert "dsct+sigma-rho-lambda" in out
+    assert "WDB" in out
+
+
+@pytest.mark.slow
+def test_adaptive_switching():
+    out = run_example("adaptive_switching.py")
+    assert "sigma-rho-lambda" in out
+    assert "adaptivity gain" in out

@@ -1,0 +1,77 @@
+"""Experiment-harness internals: configs, scheme parsing, sweeps."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_UTILIZATIONS,
+    Fig4Config,
+    Fig6Config,
+    TableConfig,
+)
+from repro.experiments.multigroup import _parse_scheme
+
+
+class TestPaperSweep:
+    def test_thirteen_points(self):
+        assert len(PAPER_UTILIZATIONS) == 13
+        assert PAPER_UTILIZATIONS[0] == pytest.approx(0.35)
+        assert PAPER_UTILIZATIONS[-1] == pytest.approx(0.95)
+
+    def test_step_is_005(self):
+        steps = {
+            round(b - a, 10)
+            for a, b in zip(PAPER_UTILIZATIONS, PAPER_UTILIZATIONS[1:])
+        }
+        assert steps == {0.05}
+
+
+class TestConfigs:
+    def test_fig4_defaults_are_paper_scale(self):
+        c = Fig4Config()
+        assert c.utilizations == PAPER_UTILIZATIONS
+        assert c.discipline == "adversarial"
+        assert c.shared_streams is True
+
+    def test_fig4_quick_is_smaller(self):
+        q = Fig4Config.quick()
+        assert len(q.utilizations) < len(PAPER_UTILIZATIONS)
+        assert q.horizon < Fig4Config().horizon
+
+    def test_fig6_defaults(self):
+        c = Fig6Config()
+        assert c.n_hosts == 665
+        assert len(c.schemes) == 6
+        assert c.cluster_k == 3
+
+    def test_fig6_quick_shrinks_population(self):
+        assert Fig6Config.quick().n_hosts < Fig6Config().n_hosts
+
+    def test_table_defaults(self):
+        c = TableConfig()
+        assert c.n_hosts == 665
+        assert c.n_groups == 3
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            Fig4Config().horizon = 1.0
+
+
+class TestSchemeParsing:
+    @pytest.mark.parametrize(
+        "scheme,expected",
+        [
+            ("dsct+sigma-rho", ("dsct", "sigma-rho")),
+            ("nice+sigma-rho-lambda", ("nice", "sigma-rho-lambda")),
+            ("capacity-aware-dsct", ("capacity-aware-dsct", "none")),
+            ("capacity-aware-nice", ("capacity-aware-nice", "none")),
+        ],
+    )
+    def test_valid_schemes(self, scheme, expected):
+        assert _parse_scheme(scheme) == expected
+
+    @pytest.mark.parametrize(
+        "scheme", ["dsct", "dsct+leaky-bucket", "chord+sigma-rho", ""]
+    )
+    def test_invalid_schemes_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            _parse_scheme(scheme)

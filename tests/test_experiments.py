@@ -1,0 +1,136 @@
+"""End-to-end experiment harness at quick scale.
+
+These are the integration tests of the reproduction: each checks the
+*shape* the paper reports, on reduced (CI-speed) configurations.  The
+full-scale artefacts live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.config import Fig4Config, Fig6Config, TableConfig
+from repro.experiments.multigroup import run_fig6
+from repro.experiments.single_host import run_fig4
+from repro.experiments.theory import (
+    height_bound_table,
+    improvement_ratio_table,
+    threshold_table,
+)
+from repro.experiments.trees import run_tree_table
+from repro.workloads.profiles import AUDIO_MIX, HETEROGENEOUS_MIX, VIDEO_MIX
+
+
+@pytest.fixture(scope="module")
+def fig4_video():
+    return run_fig4(VIDEO_MIX, Fig4Config.quick())
+
+
+@pytest.fixture(scope="module")
+def fig6_video():
+    return run_fig6(VIDEO_MIX, Fig6Config.quick())
+
+
+class TestFig4:
+    def test_sigma_rho_curve_rises(self, fig4_video):
+        sr = fig4_video.sigma_rho_series
+        assert sr[-1] > sr[0]
+
+    def test_lambda_wins_at_heavy_load(self, fig4_video):
+        assert (
+            fig4_video.points[-1].wdb_sigma_rho_lambda
+            < fig4_video.points[-1].wdb_sigma_rho
+        )
+
+    def test_sigma_rho_wins_at_light_load(self, fig4_video):
+        assert (
+            fig4_video.points[0].wdb_sigma_rho
+            < fig4_video.points[0].wdb_sigma_rho_lambda
+        )
+
+    def test_crossover_near_theory(self, fig4_video):
+        """Paper: simulated threshold a little below/near 0.73-0.79."""
+        assert fig4_video.crossover is not None
+        assert abs(
+            fig4_video.crossover - fig4_video.theoretical_threshold_aggregate
+        ) < 0.2
+
+    def test_improvement_factor_significant(self, fig4_video):
+        """Paper reports ~2.8-3.2x; demand at least 1.5x at quick scale."""
+        assert fig4_video.max_improvement > 1.5
+
+    def test_heterogeneous_mix_runs(self):
+        res = run_fig4(
+            HETEROGENEOUS_MIX,
+            Fig4Config(utilizations=(0.45, 0.95), horizon=4.0, dt=1e-3),
+        )
+        assert not res.homogeneous
+        assert res.theoretical_threshold_aggregate == pytest.approx(0.83, abs=0.01)
+
+    def test_des_backend_available(self):
+        res = run_fig4(
+            VIDEO_MIX,
+            Fig4Config(utilizations=(0.95,), horizon=3.0, backend="des"),
+        )
+        assert res.points[0].wdb_sigma_rho > 0
+
+
+class TestFig6:
+    def test_all_schemes_measured(self, fig6_video):
+        for p in fig6_video.points:
+            assert set(p.wdb) == set(fig6_video.schemes)
+            assert all(v >= 0 for v in p.wdb.values())
+
+    def test_sigma_rho_dsct_degrades_with_load(self, fig6_video):
+        sr = fig6_video.series("dsct+sigma-rho")
+        assert sr[-1] > sr[0]
+
+    def test_lambda_dsct_wins_at_heavy_load(self, fig6_video):
+        last = fig6_video.points[-1].wdb
+        assert last["dsct+sigma-rho-lambda"] < last["dsct+sigma-rho"]
+
+    def test_capacity_aware_between_at_heavy_load(self, fig6_video):
+        """Paper Fig 6: at high rate, lambda < capacity-aware < sigma-rho."""
+        last = fig6_video.points[-1].wdb
+        assert last["dsct+sigma-rho-lambda"] < last["capacity-aware-dsct"]
+
+    def test_regulated_tree_heights_rate_independent(self, fig6_video):
+        hs = fig6_video.tree_heights["dsct+sigma-rho-lambda"]
+        first = list(hs.values())[0]
+        assert all(v == first for v in hs.values())
+
+
+class TestTables:
+    def test_table_shape(self):
+        res = run_tree_table("3xvideo", TableConfig.quick())
+        assert res.capacity_aware_grows
+        assert res.regulated_constant
+        rows = res.rows()
+        assert rows[0][0].startswith("Capacity-aware")
+        assert len(rows[0]) == 1 + len(res.utilizations)
+
+    def test_regulated_height_near_lemma2(self):
+        res = run_tree_table("3xaudio", TableConfig.quick())
+        from repro.core.multicast_bounds import dsct_height_bound
+
+        bound = dsct_height_bound(TableConfig.quick().n_hosts, 3)
+        assert all(h <= bound + 1 for h in res.regulated_heights)
+
+
+class TestTheory:
+    def test_threshold_table_converges(self):
+        tt = threshold_table()
+        last = tt["rows"][-1]
+        assert last["homogeneous"] == pytest.approx(
+            tt["limit_homogeneous"], abs=1e-3
+        )
+        assert last["heterogeneous"] == pytest.approx(
+            tt["limit_heterogeneous"], abs=1e-3
+        )
+
+    def test_improvement_rows_beat_lower_bound(self):
+        for row in improvement_ratio_table():
+            assert row["ratio"] >= row["lower_bound"]
+
+    def test_height_bound_table_contains_paper_n(self):
+        rows = height_bound_table()
+        paper = next(r for r in rows if r["n"] == 665)
+        assert paper["height_bound"] == 7

@@ -1,0 +1,190 @@
+"""Traffic sources and packet traces (+ hypothesis conservation laws)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.flow import (
+    AudioSource,
+    CBRSource,
+    OnOffSource,
+    PacketTrace,
+    PoissonSource,
+    VBRVideoSource,
+)
+
+
+class TestPacketTrace:
+    def test_basic_properties(self):
+        tr = PacketTrace(np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        assert len(tr) == 3
+        assert tr.total == pytest.approx(6.0)
+        assert tr.duration == pytest.approx(2.0)
+        assert tr.mean_rate() == pytest.approx(3.0)
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PacketTrace(np.array([1.0, 0.5]), np.array([1.0, 1.0]))
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            PacketTrace(np.array([0.0]), np.array([0.0]))
+
+    def test_to_curve_total(self):
+        tr = PacketTrace(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert tr.to_curve().total == pytest.approx(5.0)
+
+    def test_binned_arrivals_conserves_data(self):
+        tr = PacketTrace(np.linspace(0, 0.99, 37), np.full(37, 0.5))
+        bins = tr.binned_arrivals(0.1, 1.0)
+        assert bins.sum() == pytest.approx(tr.total)
+
+    def test_binned_arrivals_drops_beyond_horizon(self):
+        tr = PacketTrace(np.array([0.5, 5.0]), np.array([1.0, 1.0]))
+        bins = tr.binned_arrivals(0.1, 1.0)
+        assert bins.sum() == pytest.approx(1.0)
+
+    def test_restrict(self):
+        tr = PacketTrace(np.array([0.0, 1.0, 2.0]), np.ones(3))
+        assert len(tr.restrict(1.5)) == 2
+
+    def test_fragment_conserves_and_caps(self):
+        tr = PacketTrace(np.array([0.0, 1.0]), np.array([0.55, 0.1]))
+        frag = tr.fragment(0.2)
+        assert frag.total == pytest.approx(tr.total)
+        assert frag.sizes.max() <= 0.2 + 1e-12
+        # 0.55 -> 3 fragments (0.2, 0.2, 0.15); 0.1 -> 1 fragment.
+        assert len(frag) == 4
+
+    def test_fragment_noop_when_small(self):
+        tr = PacketTrace(np.array([0.0]), np.array([0.1]))
+        assert tr.fragment(0.2) is tr
+
+
+class TestCBRSource:
+    def test_rate_is_exact(self):
+        src = CBRSource(rate=0.25, packet_size=0.005)
+        tr = src.generate(10.0)
+        assert tr.mean_rate() == pytest.approx(0.25, rel=0.01)
+
+    def test_deterministic(self):
+        a = CBRSource(0.2, 0.01).generate(5.0)
+        b = CBRSource(0.2, 0.01).generate(5.0)
+        assert np.array_equal(a.times, b.times)
+
+    def test_scaled_to(self):
+        src = CBRSource(0.2, 0.01).scaled_to(0.4)
+        assert src.rate == pytest.approx(0.4)
+        tr = src.generate(10.0)
+        assert tr.mean_rate() == pytest.approx(0.4, rel=0.01)
+
+
+class TestPoissonSource:
+    def test_mean_rate_converges(self):
+        src = PoissonSource(rate=0.3, packet_size=0.003)
+        tr = src.generate(200.0, rng=42)
+        assert tr.mean_rate() == pytest.approx(0.3, rel=0.05)
+
+    def test_reproducible(self):
+        a = PoissonSource(0.3, 0.01).generate(10.0, rng=1)
+        b = PoissonSource(0.3, 0.01).generate(10.0, rng=1)
+        assert np.array_equal(a.times, b.times)
+
+
+class TestOnOffSource:
+    def test_sustained_rate(self):
+        src = OnOffSource(peak_rate=1.0, mean_on=0.1, mean_off=0.3, packet_size=0.002)
+        assert src.rate == pytest.approx(0.25)
+        tr = src.generate(500.0, rng=3)
+        assert tr.mean_rate() == pytest.approx(0.25, rel=0.1)
+
+    def test_scaled_to_preserves_duty_cycle(self):
+        src = OnOffSource(1.0, 0.1, 0.3, 0.002).scaled_to(0.5)
+        assert src.rate == pytest.approx(0.5)
+        assert src.peak_rate == pytest.approx(2.0)
+
+
+class TestAudioSource:
+    def test_rate_calibrated(self):
+        src = AudioSource(rate=0.064)
+        tr = src.generate(60.0, rng=5)
+        assert tr.mean_rate() == pytest.approx(0.064, rel=0.05)
+
+    def test_frame_spacing(self):
+        src = AudioSource(rate=0.1, frame_interval=0.02, variability=0.0)
+        tr = src.generate(1.0)
+        assert np.allclose(np.diff(tr.times), 0.02)
+
+    def test_zero_variability_is_cbr(self):
+        src = AudioSource(rate=0.1, variability=0.0)
+        tr = src.generate(1.0)
+        assert np.allclose(tr.sizes, tr.sizes[0])
+
+    def test_vbr_when_variability_positive(self):
+        tr = AudioSource(rate=0.1, variability=0.3).generate(5.0, rng=1)
+        assert tr.sizes.std() > 0
+
+
+class TestVBRVideoSource:
+    def test_rate_calibrated(self):
+        src = VBRVideoSource(rate=0.4)
+        tr = src.generate(60.0, rng=9)
+        assert tr.mean_rate() == pytest.approx(0.4, rel=0.1)
+
+    def test_gop_structure_visible(self):
+        """I frames (every 12th) are larger than B frames without noise."""
+        src = VBRVideoSource(rate=0.4, variability=0.0, scene_strength=0.0)
+        tr = src.generate(2.0)
+        i_frames = tr.sizes[::12]
+        b_frames = tr.sizes[1::12]
+        assert i_frames.mean() > 2 * b_frames.mean()
+
+    def test_reproducible(self):
+        a = VBRVideoSource(0.3).generate(5.0, rng=11)
+        b = VBRVideoSource(0.3).generate(5.0, rng=11)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_envelope_is_conformant(self):
+        src = VBRVideoSource(rate=0.3)
+        env = src.envelope(10.0, rng=13)
+        tr = src.generate(10.0, rng=13)
+        assert env.conforms(tr.to_curve())
+
+    def test_scene_persistence_bounds(self):
+        with pytest.raises(ValueError):
+            VBRVideoSource(0.3, scene_persistence=1.0)
+
+
+@given(
+    rate=st.floats(min_value=0.05, max_value=0.9),
+    horizon=st.floats(min_value=1.0, max_value=20.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_sources_respect_horizon_and_positivity(rate, horizon, seed):
+    for src in (
+        CBRSource(rate, 0.005),
+        AudioSource(rate),
+        VBRVideoSource(rate),
+    ):
+        tr = src.generate(horizon, rng=seed)
+        assert len(tr) > 0
+        assert tr.times[-1] < horizon
+        assert np.all(tr.sizes > 0)
+
+
+@given(
+    mtu=st.floats(min_value=1e-4, max_value=0.05),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_fragmentation_preserves_cumulative_curve(mtu, seed):
+    tr = VBRVideoSource(0.5).generate(3.0, rng=seed)
+    frag = tr.fragment(mtu)
+    assert frag.total == pytest.approx(tr.total)
+    # Same cumulative curve => identical delay semantics.
+    grid = np.linspace(0, 3.0, 257)
+    a = tr.to_curve().evaluate(grid)
+    b = frag.to_curve().evaluate(grid)
+    assert np.allclose(a, b)

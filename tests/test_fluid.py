@@ -1,0 +1,222 @@
+"""Fluid kernels: closed-form checks and DES cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.delay_bounds import (
+    remark1_wdb_homogeneous,
+    theorem2_wdb_homogeneous,
+)
+from repro.core.regulator import SigmaRhoLambdaRegulator
+from repro.simulation.flow import VBRVideoSource
+from repro.simulation.fluid import (
+    fluid_mux,
+    fluid_next_empty,
+    fluid_on_time,
+    fluid_token_bucket,
+    fluid_vacation_regulator,
+    fluid_work_conserving,
+    simulate_fluid_host,
+)
+from repro.simulation.host_sim import simulate_regulated_host
+
+
+def grid(horizon, dt=1e-3):
+    n = int(horizon / dt)
+    return dt * np.arange(n + 1)
+
+
+class TestWorkConserving:
+    def test_burst_drains_at_capacity(self):
+        t = grid(2.0)
+        arr = np.where(t > 0, 0.5, 0.0)  # burst 0.5 at t=0+
+        dep = fluid_work_conserving(arr, 1.0 * t)
+        # Fully served by t = 0.5.
+        idx = np.searchsorted(t, 0.75)
+        assert dep[idx] == pytest.approx(0.5, abs=1e-6)
+
+    def test_departures_never_exceed_arrivals(self):
+        t = grid(1.0)
+        rng = np.random.default_rng(0)
+        arr = np.cumsum(rng.random(t.shape)) * 1e-3
+        dep = fluid_work_conserving(arr, 2.0 * t)
+        assert np.all(dep <= arr + 1e-12)
+
+    def test_departures_monotone(self):
+        t = grid(1.0)
+        rng = np.random.default_rng(1)
+        arr = np.cumsum(rng.random(t.shape)) * 1e-3
+        dep = fluid_work_conserving(arr, 0.5 * t)
+        assert np.all(np.diff(dep) >= -1e-12)
+
+
+class TestTokenBucket:
+    def test_conformant_passes_unchanged(self):
+        t = grid(2.0)
+        arr = 0.3 * t  # pure rate below rho
+        out = fluid_token_bucket(arr, t, sigma=0.1, rho=0.5)
+        assert np.allclose(out, arr)
+
+    def test_output_conforms(self):
+        t = grid(5.0)
+        rng = np.random.default_rng(2)
+        arr = np.cumsum(rng.random(t.shape) * rng.integers(0, 2, t.shape)) * 2e-3
+        out = fluid_token_bucket(arr, t, sigma=0.05, rho=0.4)
+        g = out - 0.4 * t
+        sigma_emp = (g - np.minimum.accumulate(g)).max()
+        assert sigma_emp <= 0.05 + 1e-9
+
+    def test_burst_released_gradually(self):
+        t = grid(2.0)
+        arr = np.where(t > 0, 1.0, 0.0)  # 1.0 burst vs sigma=0.2
+        out = fluid_token_bucket(arr, t, sigma=0.2, rho=0.5)
+        # sigma passes at once, the rest at rho: done at (1-0.2)/0.5 = 1.6.
+        assert out[np.searchsorted(t, 0.5)] == pytest.approx(
+            0.2 + 0.5 * 0.5, abs=1e-2
+        )
+        assert out[-1] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestOnTime:
+    def test_closed_form_matches_direct_sum(self):
+        t = grid(3.0, dt=1e-3)
+        w, p, off = 0.2, 0.7, 0.15
+        on = fluid_on_time(t, w, p, off)
+        # Direct computation at a few probes.
+        for probe in (0.0, 0.15, 0.3, 0.86, 1.6, 2.95):
+            direct = 0.0
+            m = 0
+            while off + m * p < probe:
+                direct += min(probe - (off + m * p), w)
+                m += 1
+            idx = np.searchsorted(t, probe)
+            assert on[min(idx, len(on) - 1)] == pytest.approx(direct, abs=2e-3)
+
+    def test_slope_is_duty_cycle(self):
+        t = grid(100.0, dt=1e-2)
+        on = fluid_on_time(t, 0.25, 1.0)
+        assert on[-1] / t[-1] == pytest.approx(0.25, rel=1e-2)
+
+    def test_rejects_w_above_period(self):
+        with pytest.raises(ValueError):
+            fluid_on_time(grid(1.0), 2.0, 1.0)
+
+
+class TestVacationRegulator:
+    def test_sustains_rho(self):
+        reg = SigmaRhoLambdaRegulator(0.05, 0.25)
+        t = grid(40.0)
+        arr = np.minimum(0.5 * t, 8.0)  # overload then stop
+        out = fluid_vacation_regulator(arr, t, reg)
+        # Long-run throughput while backlogged ~ rho.
+        mid = np.searchsorted(t, 8.0 / 0.25 * 0.9)
+        assert out[mid] / t[mid] == pytest.approx(0.25, rel=0.05)
+
+    def test_nothing_leaves_during_vacation(self):
+        reg = SigmaRhoLambdaRegulator(0.05, 0.25)
+        dt = 1e-4
+        t = grid(2.0, dt=dt)
+        arr = np.where(t > 0, 1.0, 0.0)
+        out = fluid_vacation_regulator(arr, t, reg)
+        w, p = reg.working_period, reg.regulator_period
+        # Bins entirely inside a vacation (both endpoints clear of the
+        # window boundary by > dt, since boundaries do not align with
+        # the grid) must show zero output.
+        lo, hi = t[:-1] % p, t[1:] % p
+        interior = (lo > w + dt) & (hi < p - dt) & (hi > lo)
+        d_out = np.diff(out)
+        assert np.all(d_out[interior] <= 1e-12)
+
+
+class TestNextEmpty:
+    def test_simple_busy_period(self):
+        t = grid(2.0)
+        arr = np.where(t > 0, 0.5, 0.0)
+        ne = fluid_next_empty(t, arr, 1.0)
+        # At t=0.1 the queue empties at 0.5.
+        assert ne[np.searchsorted(t, 0.1)] == pytest.approx(0.5, abs=2e-3)
+        # After the busy period, "next empty" is now.
+        idx = np.searchsorted(t, 1.0)
+        assert ne[idx] == pytest.approx(1.0, abs=2e-3)
+
+
+class TestFluidMux:
+    def test_fifo_shares_sum_to_aggregate(self):
+        t = grid(2.0)
+        rng = np.random.default_rng(3)
+        arrs = [np.cumsum(rng.random(t.shape)) * 1e-3 for _ in range(3)]
+        deps = fluid_mux(arrs, t, 1.0, discipline="fifo")
+        agg_dep = fluid_work_conserving(np.sum(arrs, axis=0), t)
+        assert np.allclose(np.sum(deps, axis=0), agg_dep, atol=1e-6)
+
+    def test_priority_conserves_each_flow(self):
+        t = grid(3.0)
+        arrs = [np.minimum(0.3 * t, 0.5) for _ in range(3)]
+        deps = fluid_mux(arrs, t, 1.0, discipline="priority", tagged=1)
+        for a, d in zip(arrs, deps):
+            assert d[-1] == pytest.approx(a[-1], rel=1e-6)
+            assert np.all(d <= a + 1e-9)
+
+    def test_unknown_discipline(self):
+        t = grid(1.0)
+        with pytest.raises(ValueError):
+            fluid_mux([0.1 * t], t, 1.0, discipline="magic")
+
+
+class TestHostLevel:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        k, u = 3, 0.8
+        rho = u / k
+        src = VBRVideoSource(rho, scene_strength=0.15, scene_persistence=0.9)
+        trace = src.generate(8.0, rng=42).fragment(0.002)
+        traces = [trace] * k
+        sigma = max(trace.empirical_sigma(rho), 1e-6)
+        envs = [ArrivalEnvelope(sigma, rho)] * k
+        return traces, envs, sigma, rho, k
+
+    def test_measured_never_exceeds_cruz_bound(self, scenario):
+        traces, envs, sigma, rho, k = scenario
+        res = simulate_fluid_host(
+            traces, envs, mode="sigma-rho", discipline="adversarial", dt=1e-3
+        )
+        bound = remark1_wdb_homogeneous(k, sigma, rho)
+        assert res.worst_case_delay <= bound * (1 + 1e-6) + 2 * res.dt
+
+    def test_lambda_mode_obeys_theorem2(self, scenario):
+        traces, envs, sigma, rho, k = scenario
+        res = simulate_fluid_host(
+            traces, envs, mode="sigma-rho-lambda", discipline="adversarial", dt=1e-3
+        )
+        bound = theorem2_wdb_homogeneous(k, sigma, rho)
+        assert res.worst_case_delay <= bound * (1 + 1e-6) + 2 * res.dt
+
+    def test_des_and_fluid_agree(self, scenario):
+        """Cross-validation of the two backends on identical traces."""
+        traces, envs, *_ = scenario
+        for mode in ("sigma-rho", "sigma-rho-lambda"):
+            f = simulate_fluid_host(
+                traces, envs, mode=mode, discipline="adversarial", dt=5e-4
+            )
+            d = simulate_regulated_host(
+                traces, envs, mode=mode, discipline="adversarial"
+            )
+            assert f.worst_case_delay == pytest.approx(
+                d.worst_case_delay, rel=0.35, abs=0.05
+            ), mode
+
+    def test_adaptive_mode_resolves(self, scenario):
+        traces, envs, *_ = scenario
+        res = simulate_fluid_host(traces, envs, mode="adaptive", dt=2e-3)
+        assert res.mode in ("sigma-rho", "sigma-rho-lambda")
+
+    def test_fifo_discipline_no_slower_than_adversarial(self, scenario):
+        traces, envs, *_ = scenario
+        fifo = simulate_fluid_host(
+            traces, envs, mode="sigma-rho", discipline="fifo", dt=1e-3
+        )
+        adv = simulate_fluid_host(
+            traces, envs, mode="sigma-rho", discipline="adversarial", dt=1e-3
+        )
+        assert fifo.worst_case_delay <= adv.worst_case_delay + 1e-6

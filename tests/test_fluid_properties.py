@@ -1,0 +1,145 @@
+"""Property-based tests of the fluid kernels (hypothesis).
+
+Each property is a conservation/ordering law that must hold for *every*
+input, not just the calibrated workloads:
+
+* work-conserving server: departures bounded by arrivals and by the
+  service, monotone, and exactly conserving once drained;
+* token bucket: output conformant to its envelope, never creating data;
+* vacation regulator: sustains exactly rho in the long run;
+* FIFO MUX: per-flow shares sum to the aggregate departure;
+* adversarial measurement dominates FIFO on identical input;
+* regulated systems never beat the unregulated MUX on conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.regulator import SigmaRhoLambdaRegulator
+from repro.simulation.flow import PacketTrace
+from repro.simulation.fluid import (
+    fluid_mux,
+    fluid_next_empty,
+    fluid_token_bucket,
+    fluid_vacation_regulator,
+    fluid_work_conserving,
+    simulate_fluid_host,
+)
+
+DT = 2e-3
+
+
+@st.composite
+def arrival_arrays(draw, horizon_bins=2000):
+    """Random bursty cumulative arrival arrays on a fixed grid."""
+    n_bursts = draw(st.integers(min_value=1, max_value=12))
+    bins = np.zeros(horizon_bins)
+    for _ in range(n_bursts):
+        start = draw(st.integers(min_value=0, max_value=horizon_bins - 2))
+        length = draw(st.integers(min_value=1, max_value=200))
+        rate = draw(st.floats(min_value=0.05, max_value=1.5))
+        end = min(start + length, horizon_bins)
+        bins[start:end] += rate * DT
+    t = DT * np.arange(horizon_bins + 1)
+    cum = np.concatenate(([0.0], np.cumsum(bins)))
+    return t, cum
+
+
+@given(arrival_arrays(), st.floats(min_value=0.2, max_value=2.0))
+@settings(max_examples=60, deadline=None)
+def test_work_conserving_laws(data, capacity):
+    t, arr = data
+    dep = fluid_work_conserving(arr, capacity * t)
+    assert np.all(dep <= arr + 1e-12)                 # causality
+    assert np.all(np.diff(dep) >= -1e-12)             # monotone
+    assert np.all(np.diff(dep) <= capacity * DT + 1e-12)  # rate-limited
+    # Work conservation: whenever backlogged, the server runs at C.
+    backlog = arr - dep
+    busy = backlog[:-1] > capacity * DT
+    served = np.diff(dep)
+    assert np.all(served[busy] >= capacity * DT - 1e-9)
+
+
+@given(
+    arrival_arrays(),
+    st.floats(min_value=0.01, max_value=0.5),
+    st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=60, deadline=None)
+def test_token_bucket_output_conforms(data, sigma, rho):
+    t, arr = data
+    out = fluid_token_bucket(arr, t, sigma, rho)
+    assert np.all(out <= arr + 1e-12)
+    g = out - rho * t
+    sigma_emp = float((g - np.minimum.accumulate(g)).max())
+    assert sigma_emp <= sigma + 1e-9
+
+
+@given(
+    arrival_arrays(),
+    st.floats(min_value=0.02, max_value=0.3),
+    st.floats(min_value=0.1, max_value=0.45),
+)
+@settings(max_examples=40, deadline=None)
+def test_vacation_regulator_conserves_and_shapes(data, sigma, rho):
+    t, arr = data
+    reg = SigmaRhoLambdaRegulator(sigma, rho)
+    out = fluid_vacation_regulator(arr, t, reg)
+    assert np.all(out <= arr + 1e-12)
+    assert np.all(np.diff(out) >= -1e-12)
+    # Output in any window of one period never exceeds W * C + slack:
+    # the regulator can serve at most its working period per cycle.
+    period_bins = max(int(reg.regulator_period / DT), 1)
+    if period_bins < len(out) - 1:
+        window_out = out[period_bins:] - out[:-period_bins]
+        limit = reg.working_period + 2 * DT
+        assert np.all(window_out <= limit + 1e-9)
+
+
+@given(arrival_arrays(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_fifo_shares_sum_to_aggregate(data, k):
+    t, arr = data
+    # Split one arrival process into k scaled copies.
+    flows = [arr * (i + 1) / (k * (k + 1) / 2) for i in range(k)]
+    deps = fluid_mux(flows, t, 1.0, discipline="fifo")
+    agg = fluid_work_conserving(np.sum(flows, axis=0), t)
+    assert np.allclose(np.sum(deps, axis=0), agg, atol=1e-6)
+    for f, d in zip(flows, deps):
+        assert np.all(d <= f + 1e-9)
+
+
+@given(arrival_arrays())
+@settings(max_examples=40, deadline=None)
+def test_next_empty_is_future_and_monotone(data):
+    t, arr = data
+    ne = fluid_next_empty(t, arr, 1.0)
+    finite = np.isfinite(ne)
+    assert np.all(ne[finite] >= t[finite] - 1e-12)
+    assert np.all(np.diff(ne[finite]) >= -1e-12)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.4, max_value=0.95),
+)
+@settings(max_examples=15, deadline=None)
+def test_adversarial_dominates_fifo_on_hosts(seed, u):
+    """The general-MUX worst case is never below the FIFO measurement."""
+    from repro.simulation.flow import VBRVideoSource
+
+    k = 3
+    rho = u / k
+    trace = VBRVideoSource(rho).generate(4.0, rng=seed).fragment(0.004)
+    envs = [ArrivalEnvelope(max(trace.empirical_sigma(rho), 1e-6), rho)] * k
+    traces = [trace] * k
+    fifo = simulate_fluid_host(
+        traces, envs, mode="sigma-rho", discipline="fifo", dt=DT
+    )
+    adv = simulate_fluid_host(
+        traces, envs, mode="sigma-rho", discipline="adversarial", dt=DT
+    )
+    assert adv.worst_case_delay >= fifo.worst_case_delay - 1e-6

@@ -1,0 +1,98 @@
+"""Figures 1 and 2 as executable checks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.illustrations import (
+    fig1_example,
+    fig2_regulator_operation,
+)
+
+
+class TestFig1:
+    def test_one_group_is_a_star(self):
+        """C = 5 rho, one group: host 0 serves hosts 1-4 directly."""
+        res = fig1_example()
+        assert res.degree_bound_one_group == 5
+        t = res.one_group_tree
+        assert t.height == 2
+        assert t.fanout()[0] == 4
+        assert all(t.parent[h] == 0 for h in (1, 2, 3, 4))
+
+    def test_two_groups_deepen_the_tree(self):
+        """Two groups: degree floor(5rho/2rho) = 2; hosts 3,4 re-home
+        under host 1 and the height grows to 3 -- the Fig. 1(b) drawing."""
+        res = fig1_example()
+        assert res.degree_bound_two_groups == 2
+        t = res.two_group_tree
+        assert t.height == 3
+        assert t.fanout()[0] == 2
+        assert t.parent[1] == 0 and t.parent[2] == 0
+        assert t.parent[3] == 1 and t.parent[4] == 1
+
+    def test_other_capacities(self):
+        res = fig1_example(capacity_multiple=3.0)
+        assert res.degree_bound_one_group == 3
+        assert res.degree_bound_two_groups == 1
+        # Degree 1 forces a pure chain.
+        assert res.two_group_tree.height == 5
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return fig2_regulator_operation(sigma=0.1, rho=0.25, periods=4)
+
+    def test_parameters_match_section_iii(self, fig2):
+        # W = sigma/(1-rho), V = sigma/rho, P = W + V.
+        assert fig2.working_period == pytest.approx(0.1 / 0.75)
+        assert fig2.vacation == pytest.approx(0.1 / 0.25)
+        assert fig2.period == pytest.approx(
+            fig2.working_period + fig2.vacation
+        )
+
+    def test_output_below_trend(self, fig2):
+        """The zig-zag never exceeds the (sigma, rho) trend line."""
+        assert np.all(fig2.output_cum <= fig2.trend + 1e-9)
+
+    def test_zigzag_slopes(self, fig2):
+        """Slope 1 while working, 0 while on vacation (paper's Fig. 2)."""
+        d_out = np.diff(fig2.output_cum)
+        dt = fig2.t[1] - fig2.t[0]
+        w, p = fig2.working_period, fig2.period
+        mid = fig2.t[:-1] + dt / 2
+        phase = mid % p
+        working = (phase > dt) & (phase < w - dt)
+        vacation = (phase > w + dt) & (phase < p - dt)
+        # Early working bins before the backlog forms can pass through
+        # at the arrival rate; once backlogged the slope is 1.
+        assert np.all(d_out[vacation] <= 1e-12)
+        busy = working & (fig2.trend[:-1] - fig2.output_cum[:-1] > 2 * dt)
+        assert np.all(d_out[busy] >= dt * (1.0 - 1e-6))
+
+    def test_touch_points_at_working_period_ends(self, fig2):
+        """'The cross points ... indicate the time that all of the
+        blocked data from the flow are output' -- they sit at m P + W."""
+        w, p = fig2.working_period, fig2.period
+        expected = {round(m * p + w, 6) for m in range(4)}
+        # Each detected touch run must start within a grid step of an
+        # expected point (ignore the trivial touch at t=0 if present).
+        dt = fig2.t[1] - fig2.t[0]
+        for touch in fig2.touch_times:
+            if touch < w / 2:
+                continue
+            nearest = min(expected, key=lambda e: abs(e - touch))
+            assert abs(nearest - touch) <= 3 * dt, (touch, nearest)
+
+    def test_conservation_over_periods(self, fig2):
+        """Over each full period the regulator outputs rho * P -- the
+        conservation constraint that fixed lambda = 1/(1-rho)."""
+        p = fig2.period
+        dt = fig2.t[1] - fig2.t[0]
+        per_period = int(round(p / dt))
+        for m in range(1, 4):
+            out = (
+                fig2.output_cum[m * per_period]
+                - fig2.output_cum[(m - 1) * per_period]
+            )
+            assert out == pytest.approx(0.25 * p, rel=0.02)

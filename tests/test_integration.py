@@ -1,0 +1,132 @@
+"""Cross-module integration tests.
+
+These exercise paths that no unit test covers end to end: the adaptive
+controller driving simulations over real topology-derived workloads,
+the transit-stub underlay feeding the figure harness, churn composing
+with the whole-tree simulator, and the public package surface.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.adaptive import AdaptiveController, ControlMode
+from repro.core.threshold import homogeneous_threshold
+from repro.overlay.dynamics import ChurnSimulator
+from repro.overlay.groups import MultiGroupNetwork
+from repro.simulation.flow import VBRVideoSource
+from repro.simulation.fluid import simulate_fluid_host
+from repro.simulation.tree_sim import simulate_multicast_tree
+from repro.topology.attach import attach_hosts
+from repro.topology.routing import host_rtt_matrix
+from repro.topology.transit_stub import transit_stub_backbone
+
+
+class TestPublicSurface:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_example(self):
+        flows = [repro.ArrivalEnvelope(sigma=0.02, rho=0.28)] * 3
+        ctrl = repro.AdaptiveController(flows)
+        assert ctrl.select_mode().value == "sigma-rho-lambda"
+
+
+class TestAdaptiveEndToEnd:
+    """The headline behaviour: adaptivity is never much worse than the
+    better fixed policy, on either side of the threshold."""
+
+    @pytest.mark.parametrize("u", [0.45, 0.95])
+    def test_adaptive_tracks_best_fixed_policy(self, u):
+        k = 3
+        rho = u / k
+        stream = VBRVideoSource(rho).generate(8.0, rng=17).fragment(0.002)
+        envs = [ArrivalEnvelope(max(stream.empirical_sigma(rho), 1e-6), rho)] * k
+        results = {
+            mode: simulate_fluid_host(
+                [stream] * k, envs, mode=mode,
+                discipline="adversarial", dt=1e-3,
+            ).worst_case_delay
+            for mode in ("sigma-rho", "sigma-rho-lambda", "adaptive")
+        }
+        best_fixed = min(results["sigma-rho"], results["sigma-rho-lambda"])
+        assert results["adaptive"] <= best_fixed * 1.2 + 1e-3
+
+    def test_mode_flips_across_threshold(self):
+        k = 3
+        rho_star = homogeneous_threshold(k)
+        mk = lambda rho: AdaptiveController(
+            [ArrivalEnvelope(0.05, rho)] * k
+        ).select_mode()
+        assert mk(rho_star * 0.9) is ControlMode.SIGMA_RHO
+        assert mk(rho_star * 1.05) is ControlMode.SIGMA_RHO_LAMBDA
+
+
+class TestTransitStubPipeline:
+    def test_multigroup_world_on_transit_stub(self):
+        """The whole pipeline runs on the alternative underlay."""
+        g = transit_stub_backbone(3, 2, 4, rng=8)
+        net = attach_hosts(g, 40, rng=8)
+        mgn = MultiGroupNetwork.fully_joined(net, 3, rng=8)
+        trees = mgn.build_all_trees("dsct", rng=8)
+        assert all(t.size == 40 for t in trees)
+        u = 0.9
+        rho = u / 3
+        stream = VBRVideoSource(rho).generate(3.0, rng=8).fragment(0.002)
+        envs = [ArrivalEnvelope(max(stream.empirical_sigma(rho), 1e-6), rho)] * 3
+        res = simulate_multicast_tree(
+            trees, 0, [stream] * 3, envs, mgn.latency,
+            mode="sigma-rho-lambda", discipline="fifo",
+        )
+        assert set(res.per_receiver_worst) == trees[0].members()
+
+
+class TestChurnThenSimulate:
+    def test_tree_survives_churn_and_still_simulates(self):
+        g = transit_stub_backbone(2, 2, 4, rng=9)
+        net = attach_hosts(g, 30, rng=9)
+        rtt = host_rtt_matrix(net)
+        mgn = MultiGroupNetwork.fully_joined(net, 3, rng=9)
+        trees = mgn.build_all_trees("dsct", rng=9)
+        churn = ChurnSimulator(
+            trees[0], rtt,
+            standby=[],  # leave-only churn over the full membership
+        )
+        for _ in range(8):
+            if churn.tree.size <= 3:
+                break
+            churn.step(rng=3)
+        shrunk = churn.tree
+        rho = 0.25
+        stream = VBRVideoSource(rho).generate(2.0, rng=9).fragment(0.002)
+        envs = [ArrivalEnvelope(max(stream.empirical_sigma(rho), 1e-6), rho)] * 3
+        res = simulate_multicast_tree(
+            [shrunk, trees[1], trees[2]], 0, [stream] * 3, envs, mgn.latency,
+            mode="sigma-rho", discipline="fifo",
+        )
+        assert set(res.per_receiver_worst) == shrunk.members()
+
+
+class TestDeterminismEndToEnd:
+    def test_full_pipeline_reproducible(self):
+        def run():
+            g = transit_stub_backbone(2, 2, 3, rng=4)
+            net = attach_hosts(g, 24, rng=4)
+            mgn = MultiGroupNetwork.fully_joined(net, 2, rng=4)
+            trees = mgn.build_all_trees("nice", rng=4)
+            rho = 0.3
+            stream = VBRVideoSource(rho).generate(2.0, rng=4).fragment(0.002)
+            envs = [
+                ArrivalEnvelope(max(stream.empirical_sigma(rho), 1e-6), rho)
+            ] * 2
+            res = simulate_multicast_tree(
+                trees, 0, [stream] * 2, envs, mgn.latency, mode="sigma-rho",
+            )
+            return res.worst_case_delay, res.worst_receiver
+
+        assert run() == run()

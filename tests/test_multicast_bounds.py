@@ -1,0 +1,119 @@
+"""Section-V multicast bounds: Lemma 2, Theorems 7/8, Remark 2."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay_bounds import (
+    theorem1_wdb_heterogeneous,
+    theorem2_wdb_homogeneous,
+)
+from repro.core.multicast_bounds import (
+    dsct_height_bound,
+    multicast_improvement_ratio_homogeneous,
+    remark2_multicast_wdb_heterogeneous,
+    remark2_multicast_wdb_homogeneous,
+    theorem7_multicast_wdb_heterogeneous,
+    theorem8_multicast_wdb_homogeneous,
+)
+from repro.core.threshold import homogeneous_threshold
+
+
+class TestLemma2:
+    def test_paper_scale(self):
+        # n = 665, k = 3: ceil(log3(3 + 664*2)) = ceil(log3 1331) = 7.
+        assert dsct_height_bound(665, 3) == 7
+
+    def test_single_member(self):
+        assert dsct_height_bound(1, 3) == 1
+
+    def test_monotone_in_n(self):
+        heights = [dsct_height_bound(n, 3) for n in (2, 10, 50, 200, 1000)]
+        assert heights == sorted(heights)
+
+    def test_larger_k_is_never_taller(self):
+        for n in (10, 100, 1000):
+            assert dsct_height_bound(n, 5) <= dsct_height_bound(n, 2)
+
+    def test_j1_tightens(self):
+        # Leftover members in L1 only reduce the argument.
+        assert dsct_height_bound(100, 3, j1=2) <= dsct_height_bound(100, 3, j1=0)
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            dsct_height_bound(10, 1)
+        with pytest.raises(ValueError):
+            dsct_height_bound(10, 3, j1=3)
+        with pytest.raises(ValueError):
+            dsct_height_bound(2, 3, j1=2)
+
+    @given(st.integers(min_value=2, max_value=5000), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_bound_covers_perfect_k_ary_hierarchy(self, n, k):
+        """A hierarchy with all clusters of size exactly k (the worst
+        packing of Lemma 2's proof) has ceil(log_k) layers; the bound
+        must dominate it."""
+        layers = 1
+        width = n
+        while width > 1:
+            width = math.ceil(width / k)
+            layers += 1
+        assert dsct_height_bound(n, k) >= layers - 1  # paper counts the
+        # singleton top layer into the log expression
+
+
+class TestTheorem7:
+    def test_scales_per_hop_bound(self):
+        sigmas, rhos = [0.1, 0.2], [0.2, 0.1]
+        per_hop = theorem1_wdb_heterogeneous(sigmas, rhos)
+        assert theorem7_multicast_wdb_heterogeneous(
+            4, sigmas, rhos
+        ) == pytest.approx(3 * per_hop)
+
+    def test_height_one_tree_no_hops(self):
+        assert theorem7_multicast_wdb_heterogeneous(1, [0.1], [0.2]) == 0.0
+
+    def test_propagation_term(self):
+        base = theorem7_multicast_wdb_heterogeneous(3, [0.1], [0.2])
+        with_prop = theorem7_multicast_wdb_heterogeneous(
+            3, [0.1], [0.2], per_hop_propagation=0.01
+        )
+        assert with_prop == pytest.approx(base + 2 * 0.01)
+
+
+class TestTheorem8:
+    def test_scales_theorem2(self):
+        per_hop = theorem2_wdb_homogeneous(3, 0.1, 0.2)
+        assert theorem8_multicast_wdb_homogeneous(
+            5, 3, 0.1, 0.2
+        ) == pytest.approx(4 * per_hop)
+
+
+class TestRemark2:
+    def test_scales_remark1(self):
+        v = remark2_multicast_wdb_homogeneous(5, 3, 0.1, 0.2)
+        assert v == pytest.approx(4 * 0.3 / 0.4)
+
+    def test_heterogeneous_form(self):
+        v = remark2_multicast_wdb_heterogeneous(3, [0.1, 0.2], [0.2, 0.2])
+        assert v == pytest.approx(2 * 0.3 / 0.6)
+
+
+class TestMulticastImprovement:
+    def test_ratio_equals_single_host_ratio(self):
+        """(H-1) cancels: Theorems 7/8 inherit the single-host threshold."""
+        k, sigma = 3, 0.1
+        rho = homogeneous_threshold(k) * 1.1
+        single = remark2_multicast_wdb_homogeneous(
+            2, k, sigma, rho
+        ) / theorem8_multicast_wdb_homogeneous(2, k, sigma, rho)
+        for h in (3, 5, 9):
+            multi = multicast_improvement_ratio_homogeneous(h, k, sigma, rho)
+            assert multi == pytest.approx(single)
+
+    def test_above_threshold_wins(self):
+        k = 3
+        rho = homogeneous_threshold(k) * 1.05
+        assert multicast_improvement_ratio_homogeneous(6, k, 0.1, rho) > 1.0

@@ -1,0 +1,67 @@
+"""Analytic general-MUX bounds (Remark 1 / Cruz eq. 13)."""
+
+import pytest
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.calculus.mux import (
+    mux_backlog_bound,
+    mux_delay_bound_heterogeneous,
+    mux_delay_bound_homogeneous,
+    mux_is_stable,
+)
+
+
+def test_stability_condition():
+    envs = [ArrivalEnvelope(1.0, 0.4), ArrivalEnvelope(1.0, 0.5)]
+    assert mux_is_stable(envs, 1.0)
+    assert not mux_is_stable(envs, 0.8)
+
+
+def test_heterogeneous_formula():
+    envs = [ArrivalEnvelope(1.0, 0.2), ArrivalEnvelope(2.0, 0.3)]
+    # sum sigma / (C - sum rho) = 3 / 0.5
+    assert mux_delay_bound_heterogeneous(envs) == pytest.approx(6.0)
+
+
+def test_heterogeneous_unstable_is_inf():
+    envs = [ArrivalEnvelope(1.0, 0.6), ArrivalEnvelope(1.0, 0.6)]
+    assert mux_delay_bound_heterogeneous(envs) == float("inf")
+
+
+def test_homogeneous_matches_heterogeneous():
+    k, sigma, rho = 3, 0.5, 0.2
+    hom = mux_delay_bound_homogeneous(k, sigma, rho)
+    het = mux_delay_bound_heterogeneous([ArrivalEnvelope(sigma, rho)] * k)
+    assert hom == pytest.approx(het)
+    assert hom == pytest.approx(3 * 0.5 / (1 - 0.6))
+
+
+def test_capacity_scaling():
+    envs = [ArrivalEnvelope(1.0, 0.5)]
+    assert mux_delay_bound_heterogeneous(envs, capacity=2.0) == pytest.approx(
+        1.0 / 1.5
+    )
+
+
+def test_backlog_bound():
+    envs = [ArrivalEnvelope(1.0, 0.3), ArrivalEnvelope(0.5, 0.3)]
+    assert mux_backlog_bound(envs) == pytest.approx(1.5)
+    unstable = [ArrivalEnvelope(1.0, 2.0)]
+    assert mux_backlog_bound(unstable) == float("inf")
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        mux_delay_bound_heterogeneous([])
+    with pytest.raises(ValueError):
+        mux_backlog_bound([])
+
+
+def test_bound_grows_toward_saturation():
+    """The Remark-1 bound must diverge as load approaches capacity."""
+    prev = 0.0
+    for u in (0.5, 0.7, 0.9, 0.99):
+        envs = [ArrivalEnvelope(0.1, u / 3)] * 3
+        bound = mux_delay_bound_heterogeneous(envs)
+        assert bound > prev
+        prev = bound

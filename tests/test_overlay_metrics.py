@@ -1,0 +1,92 @@
+"""Scheme-comparison metrics + the Lemma-1 backlog invariant."""
+
+import numpy as np
+import pytest
+
+from repro.core.regulator import SigmaRhoLambdaRegulator
+from repro.overlay.metrics import compare_schemes, measure_tree
+from repro.simulation.fluid import fluid_vacation_regulator
+
+
+class TestCompareSchemes:
+    @pytest.fixture(scope="class")
+    def metrics(self, small_mgn):
+        return compare_schemes(small_mgn, aggregate_rate=0.8, rng=5)
+
+    def test_every_scheme_and_group_measured(self, metrics, small_mgn):
+        schemes = {m.scheme for m in metrics}
+        assert len(schemes) == 4
+        assert len(metrics) == 4 * small_mgn.n_groups
+
+    def test_sizes_cover_population(self, metrics, small_mgn):
+        assert all(m.size == small_mgn.network.n_hosts for m in metrics)
+
+    def test_dsct_stretch_no_worse_than_nice(self, metrics):
+        """Location awareness: DSCT's mean stretch <= NICE's (+ noise)."""
+        dsct = np.mean([m.stretch for m in metrics if m.scheme == "dsct"])
+        nice = np.mean([m.stretch for m in metrics if m.scheme == "nice"])
+        assert dsct <= nice * 1.25
+
+    def test_rows_render(self, metrics):
+        row = metrics[0].as_row()
+        assert len(row) == 9
+        assert isinstance(row[0], str)
+
+    def test_capacity_scheme_requires_rate(self, small_mgn):
+        with pytest.raises(ValueError):
+            compare_schemes(small_mgn, schemes=("capacity-aware-dsct",))
+
+
+class TestMeasureTree:
+    def test_star_metrics(self, small_mgn):
+        from repro.overlay.tree import MulticastTree
+
+        star = MulticastTree(root=0, parent={i: 0 for i in range(1, 6)})
+        m = measure_tree(
+            "star", 0, star, small_mgn.latency, small_mgn.network.host_router
+        )
+        assert m.height == 2
+        assert m.max_fanout == 5
+        assert m.mean_fanout_internal == pytest.approx(5.0)
+        assert m.critical_path_hosts == 2
+
+
+class TestLemma1BacklogInvariant:
+    """Lemma 1's induction invariant, measured: the backlog of a
+    (sigma, rho, lambda) regulator fed conformant traffic never exceeds
+    (1 + lambda) sigma."""
+
+    @pytest.mark.parametrize("rho", [0.15, 0.25, 0.4])
+    def test_saturated_input_backlog_bounded(self, rho):
+        sigma = 0.08
+        reg = SigmaRhoLambdaRegulator(sigma, rho)
+        dt = 1e-4
+        horizon = 12 * reg.regulator_period
+        n = int(horizon / dt)
+        t = dt * np.arange(n + 1)
+        # The extremal conformant input: full burst then sustained rho.
+        arr = np.minimum(sigma + rho * t, sigma + rho * horizon)
+        arr[0] = 0.0
+        out = fluid_vacation_regulator(arr, t, reg)
+        backlog = arr - out
+        bound = (1.0 + reg.lam) * sigma
+        assert float(backlog.max()) <= bound + rho * dt + 1e-9
+
+    def test_invariant_tight_at_vacation_end(self):
+        """The maximum backlog is attained at the end of a vacation
+        (Lemma 1's proof: 'the largest backlog occurs at each end of a
+        vacation')."""
+        sigma, rho = 0.08, 0.25
+        reg = SigmaRhoLambdaRegulator(sigma, rho)
+        dt = 1e-4
+        horizon = 8 * reg.regulator_period
+        n = int(horizon / dt)
+        t = dt * np.arange(n + 1)
+        arr = sigma + rho * t
+        arr[0] = 0.0
+        out = fluid_vacation_regulator(arr, t, reg)
+        backlog = arr - out
+        t_peak = t[int(np.argmax(backlog))]
+        # Vacations end at m * P (window starts); peaks align there.
+        phase = t_peak % reg.regulator_period
+        assert min(phase, reg.regulator_period - phase) <= 2 * dt + 1e-9

@@ -1,0 +1,266 @@
+"""PiecewiseLinearCurve: evaluation, deviations, envelopes (+ hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.piecewise import PiecewiseLinearCurve as PLC
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PLC([0, 1], [0])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PLC([0, 2, 1], [0, 1, 2])
+
+    def test_rejects_decreasing_values(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PLC([0, 1, 2], [0, 2, 1])
+
+    def test_arrays_are_read_only(self):
+        c = PLC([0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            c.times[0] = 5.0
+
+    def test_from_segments(self):
+        c = PLC.from_segments(0.0, 0.0, [1.0, 2.0], [1.0, 0.5])
+        assert c.total == pytest.approx(2.0)
+        assert c(1.0) == pytest.approx(1.0)
+        assert c(3.0) == pytest.approx(2.0)
+
+    def test_from_rate_grid_matches_cumsum(self):
+        rates = [1.0, 0.0, 2.0]
+        c = PLC.from_rate_grid(0.5, rates)
+        assert c.total == pytest.approx(0.5 * 3.0)
+        assert c(0.5) == pytest.approx(0.5)
+        assert c(1.0) == pytest.approx(0.5)
+
+    def test_affine_starts_at_sigma(self):
+        c = PLC.affine(2.0, 0.5, 10.0)
+        assert c(0.0) == pytest.approx(2.0)
+        assert c(10.0) == pytest.approx(7.0)
+
+
+class TestEvaluation:
+    def test_interpolates(self):
+        c = PLC([0, 2], [0, 4])
+        assert c(1.0) == pytest.approx(2.0)
+
+    def test_clamps_outside_domain(self):
+        c = PLC([1, 2], [3, 5])
+        assert c(0.0) == pytest.approx(3.0)
+        assert c(10.0) == pytest.approx(5.0)
+
+    def test_left_vs_right_at_jump(self):
+        c = PLC.from_packet_arrivals([1.0], [2.0])
+        assert c.evaluate(1.0, side="right") == pytest.approx(2.0)
+        assert c.evaluate(1.0, side="left") == pytest.approx(0.0)
+
+    def test_vectorised(self):
+        c = PLC([0, 1], [0, 1])
+        out = c(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_rejects_bad_side(self):
+        c = PLC([0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            c.evaluate(0.5, side="middle")
+
+
+class TestFirstPassage:
+    def test_simple_ramp(self):
+        c = PLC([0, 2], [0, 4])
+        assert c.first_passage(2.0) == pytest.approx(1.0)
+
+    def test_level_above_total_is_inf(self):
+        c = PLC([0, 1], [0, 1])
+        assert c.first_passage(2.0) == np.inf
+
+    def test_jump_level_maps_to_jump_instant(self):
+        c = PLC.from_packet_arrivals([1.0, 3.0], [2.0, 2.0])
+        assert c.first_passage(1.0) == pytest.approx(1.0)
+        assert c.first_passage(3.0) == pytest.approx(3.0)
+
+    def test_plateau_returns_left_edge(self):
+        c = PLC([0, 1, 2, 3], [0, 1, 1, 2])
+        assert c.first_passage(1.0) == pytest.approx(1.0)
+
+
+class TestPacketArrivals:
+    def test_merges_simultaneous(self):
+        c = PLC.from_packet_arrivals([1.0, 1.0], [1.0, 2.0])
+        assert c.total == pytest.approx(3.0)
+        assert c.evaluate(1.0) == pytest.approx(3.0)
+
+    def test_empty_trace(self):
+        c = PLC.from_packet_arrivals([], [])
+        assert c.total == 0.0
+
+    def test_is_staircase(self):
+        assert PLC.from_packet_arrivals([1.0], [1.0]).is_staircase
+        assert not PLC([0, 1], [0, 1]).is_staircase
+
+
+class TestBinaryOps:
+    def test_add_on_union_grid(self):
+        a = PLC([0, 2], [0, 2])
+        b = PLC([0, 1, 2], [0, 0, 2])
+        c = a + b
+        assert c(1.0) == pytest.approx(1.0)
+        assert c(2.0) == pytest.approx(4.0)
+
+    def test_minimum_inserts_crossings(self):
+        a = PLC([0, 2], [0, 4])       # slope 2
+        b = PLC([0, 2], [1, 3])       # slope 1, starts higher
+        m = a.minimum(b)
+        # Crossing at t = 1 where both equal 2.
+        assert m(1.0) == pytest.approx(2.0)
+        assert m(0.0) == pytest.approx(0.0)
+        assert m(2.0) == pytest.approx(3.0)
+
+    def test_binary_ops_reject_staircases(self):
+        a = PLC.from_packet_arrivals([1.0], [1.0])
+        b = PLC([0, 2], [0, 2])
+        with pytest.raises(ValueError, match="fluid"):
+            _ = a + b
+
+    def test_scale(self):
+        c = PLC([0, 1], [0, 2]).scale(0.5)
+        assert c.total == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            c.scale(-1.0)
+
+
+class TestDeviations:
+    def test_backlog_of_shifted_ramp(self):
+        a = PLC([0, 10], [0, 10])
+        d = PLC([0, 1, 11], [0, 0, 10])  # serves after 1 s latency
+        assert a.max_vertical_deviation(d) == pytest.approx(1.0)
+
+    def test_delay_of_shifted_ramp(self):
+        a = PLC([0, 10], [0, 10])
+        d = PLC([0, 1, 11], [0, 0, 10])
+        assert a.max_horizontal_deviation(d) == pytest.approx(1.0, abs=1e-6)
+
+    def test_delay_infinite_when_undelivered(self):
+        a = PLC([0, 1], [0, 10])
+        d = PLC([0, 1], [0, 1])
+        assert a.max_horizontal_deviation(d) == np.inf
+
+    def test_burst_through_rate_server(self):
+        # A burst of 2 at t=0 served at rate 1: last bit waits 2 s.
+        a = PLC.from_packet_arrivals([0.0], [2.0])
+        d = PLC([0, 2, 3], [0, 2, 2])
+        assert a.max_horizontal_deviation(d) == pytest.approx(2.0, abs=1e-6)
+        assert a.max_vertical_deviation(d) == pytest.approx(2.0)
+
+    def test_identical_curves_zero_deviation(self):
+        a = PLC([0, 5], [0, 5])
+        assert a.max_horizontal_deviation(a) == pytest.approx(0.0, abs=1e-6)
+        assert a.max_vertical_deviation(a) == pytest.approx(0.0)
+
+
+class TestEnvelopeQueries:
+    def test_min_sigma_of_cbr_is_small(self):
+        c = PLC([0, 10], [0, 5])  # pure rate 0.5
+        assert c.min_sigma(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_min_sigma_of_burst(self):
+        c = PLC.from_packet_arrivals([0.0], [3.0])
+        assert c.min_sigma(1.0) == pytest.approx(3.0)
+
+    def test_conforms(self):
+        c = PLC.from_packet_arrivals([0.0, 1.0], [1.0, 1.0])
+        assert c.conforms(sigma=1.0, rho=1.0)
+        assert not c.conforms(sigma=0.5, rho=0.1)
+
+    def test_mean_rate(self):
+        c = PLC([0, 4], [0, 2])
+        assert c.mean_rate() == pytest.approx(0.5)
+
+
+class TestTransforms:
+    def test_shift(self):
+        c = PLC([0, 1], [0, 1]).shift(dt=2.0, dv=3.0)
+        assert c.start_time == pytest.approx(2.0)
+        assert c.total == pytest.approx(4.0)
+
+    def test_restrict(self):
+        c = PLC([0, 10], [0, 10]).restrict(4.0)
+        assert c.end_time == pytest.approx(4.0)
+        assert c.total == pytest.approx(4.0)
+
+    def test_segment_rates(self):
+        c = PLC([0, 1, 3], [0, 2, 2])
+        assert np.allclose(c.segment_rates(), [2.0, 0.0])
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+@st.composite
+def packet_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    sizes = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=3.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    times = np.cumsum(gaps)
+    return times, np.asarray(sizes)
+
+
+@given(packet_traces())
+@settings(max_examples=60, deadline=None)
+def test_min_sigma_makes_curve_conformant(trace):
+    times, sizes = trace
+    c = PLC.from_packet_arrivals(times, sizes)
+    for rho in (0.0, 0.3, 1.0):
+        sigma = c.min_sigma(rho)
+        assert c.conforms(sigma + 1e-9, rho)
+        # Tightness: anything smaller fails (when sigma is positive).
+        if sigma > 1e-6:
+            assert not c.conforms(sigma * 0.9, rho)
+
+
+@given(packet_traces(), st.floats(min_value=0.2, max_value=2.0))
+@settings(max_examples=60, deadline=None)
+def test_rate_server_delay_never_exceeds_sigma_over_c(trace, capacity):
+    """Cruz: a (sigma, rho<=C) flow through a rate-C server waits <= sigma/C."""
+    times, sizes = trace
+    arr = PLC.from_packet_arrivals(times, sizes)
+    # Fluid service at rate `capacity` starting from the first arrival.
+    grid = np.linspace(
+        float(times[0]), float(times[-1]) + arr.total / capacity + 1.0, 2048
+    )
+    service = capacity * (grid - grid[0])
+    backlog_free = np.minimum.accumulate(arr.evaluate(grid) - service)
+    dep = PLC(grid, service + backlog_free)
+    sigma = arr.min_sigma(capacity)
+    measured = arr.max_horizontal_deviation(dep)
+    grid_step = grid[1] - grid[0]
+    assert measured <= sigma / capacity + 2 * grid_step + 1e-6
+
+
+@given(packet_traces())
+@settings(max_examples=40, deadline=None)
+def test_first_passage_inverts_evaluation(trace):
+    times, sizes = trace
+    c = PLC.from_packet_arrivals(times, sizes)
+    levels = np.linspace(1e-6, c.total, 17)
+    t = c.first_passage(levels)
+    # The curve evaluated (right-continuously) at the passage time has
+    # reached the level.
+    vals = c.evaluate(t, side="right")
+    assert np.all(vals >= levels - 1e-9)

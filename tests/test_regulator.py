@@ -1,0 +1,128 @@
+"""Regulator parameterisations: the Section-III identities (+ hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.regulator import (
+    SigmaRhoLambdaRegulator,
+    SigmaRhoRegulator,
+    control_factor,
+)
+
+rhos = st.floats(min_value=0.01, max_value=0.95)
+sigmas = st.floats(min_value=1e-4, max_value=10.0)
+
+
+class TestControlFactor:
+    def test_equation_1(self):
+        assert control_factor(0.5) == pytest.approx(2.0)
+        assert control_factor(0.25) == pytest.approx(4.0 / 3.0)
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0, -0.1, 1.5])
+    def test_domain(self, rho):
+        with pytest.raises(ValueError):
+            control_factor(rho)
+
+
+class TestSigmaRhoRegulator:
+    def test_envelope(self):
+        r = SigmaRhoRegulator(0.5, 0.2)
+        assert r.envelope() == ArrivalEnvelope(0.5, 0.2)
+
+    def test_conformant_input_passes_undelayed(self):
+        r = SigmaRhoRegulator(0.5, 0.2)
+        assert r.delay_bound_for_input(ArrivalEnvelope(0.3, 0.2)) == 0.0
+
+    def test_excess_burst_delay(self):
+        r = SigmaRhoRegulator(0.5, 0.2)
+        # (sigma* - sigma) / rho = 0.5 / 0.2
+        assert r.delay_bound_for_input(
+            ArrivalEnvelope(1.0, 0.2)
+        ) == pytest.approx(2.5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SigmaRhoRegulator(0.0, 0.5)
+        with pytest.raises(ValueError):
+            SigmaRhoRegulator(1.0, 1.0)
+
+
+class TestSigmaRhoLambdaRegulator:
+    def test_paper_identities(self):
+        """W = sigma/(1-rho), V = sigma/rho, P = sigma*lambda/rho."""
+        r = SigmaRhoLambdaRegulator(0.06, 0.25)
+        assert r.lam == pytest.approx(1.0 / 0.75)
+        assert r.working_period == pytest.approx(0.06 / 0.75)
+        assert r.vacation == pytest.approx(0.06 / 0.25)
+        assert r.regulator_period == pytest.approx(0.06 * r.lam / 0.25)
+        assert r.regulator_period == pytest.approx(r.working_period + r.vacation)
+
+    def test_duty_cycle_equals_rho_at_min_lambda(self):
+        # W/P = rho when lambda = 1/(1-rho): the regulator sustains
+        # exactly the flow's average rate.
+        r = SigmaRhoLambdaRegulator(0.1, 0.3)
+        assert r.duty_cycle == pytest.approx(0.3)
+
+    def test_lambda_below_minimum_rejected(self):
+        with pytest.raises(ValueError, match="conservation"):
+            SigmaRhoLambdaRegulator(0.1, 0.5, lam=1.5)
+
+    def test_custom_lambda_lengthens_vacation(self):
+        base = SigmaRhoLambdaRegulator(0.1, 0.5)
+        longer = SigmaRhoLambdaRegulator(0.1, 0.5, lam=3.0)
+        assert longer.vacation > base.vacation
+        assert longer.working_period == pytest.approx(base.working_period)
+
+    def test_lemma1_delay_bound(self):
+        r = SigmaRhoLambdaRegulator(0.05, 0.2)
+        # (sigma* - sigma)+/rho + 2 lambda sigma / rho
+        d = r.delay_bound_for_input(ArrivalEnvelope(0.08, 0.2))
+        expected = 0.03 / 0.2 + 2 * r.lam * 0.05 / 0.2
+        assert d == pytest.approx(expected)
+
+    def test_backlog_bound(self):
+        r = SigmaRhoLambdaRegulator(0.05, 0.2)
+        assert r.backlog_bound() == pytest.approx((1 + r.lam) * 0.05)
+
+    def test_windows_tile_period(self):
+        r = SigmaRhoLambdaRegulator(0.1, 0.25)
+        ws = list(r.windows(horizon=3 * r.regulator_period))
+        assert len(ws) == 3
+        for i, (s, e) in enumerate(ws):
+            assert s == pytest.approx(i * r.regulator_period)
+            assert e - s == pytest.approx(r.working_period)
+
+    def test_windows_with_offset(self):
+        r = SigmaRhoLambdaRegulator(0.1, 0.25)
+        ws = list(r.windows(horizon=r.regulator_period, offset=0.01))
+        assert ws[0][0] == pytest.approx(0.01)
+
+    def test_is_on(self):
+        r = SigmaRhoLambdaRegulator(0.1, 0.25)
+        assert r.is_on(r.working_period * 0.5)
+        assert not r.is_on(r.working_period + 1e-6)
+        assert not r.is_on(0.0, offset=1.0)  # before the first window
+
+    @given(sigmas, rhos)
+    @settings(max_examples=100, deadline=None)
+    def test_identities_hold_everywhere(self, sigma, rho):
+        r = SigmaRhoLambdaRegulator(sigma, rho)
+        assert r.vacation == pytest.approx(sigma / rho, rel=1e-9)
+        assert r.working_period + r.vacation == pytest.approx(
+            r.regulator_period, rel=1e-9
+        )
+        # Conservation: output capacity over a period covers the input.
+        assert r.working_period * 1.0 >= sigma + 0.0 - 1e-12
+
+    @given(sigmas, rhos)
+    @settings(max_examples=100, deadline=None)
+    def test_vacation_approaches_k_minus_1_windows(self, sigma, rho):
+        """Section III: at rho -> 1/K, V ~ (K-1) W (windows tile)."""
+        k = max(int(1.0 / rho), 2)
+        rho_heavy = 1.0 / k
+        if rho_heavy >= 1.0:
+            return
+        r = SigmaRhoLambdaRegulator(sigma, rho_heavy * 0.999)
+        assert r.vacation >= (k - 1) * r.working_period - 1e-9

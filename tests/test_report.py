@@ -1,0 +1,72 @@
+"""Report helpers: crossover detection, improvement, table rendering."""
+
+import pytest
+
+from repro.experiments.report import (
+    find_crossover,
+    format_series,
+    max_improvement,
+    render_table,
+)
+
+
+class TestFindCrossover:
+    def test_simple_crossing(self):
+        us = [0.4, 0.6, 0.8]
+        baseline = [0.1, 0.3, 0.9]
+        candidate = [0.5, 0.5, 0.5]
+        # candidate dips below baseline between 0.6 and 0.8.
+        c = find_crossover(us, baseline, candidate)
+        assert 0.6 < c < 0.8
+
+    def test_interpolation_exact(self):
+        us = [0.0, 1.0]
+        c = find_crossover(us, [0.0, 1.0], [0.5, 0.5])
+        assert c == pytest.approx(0.5)
+
+    def test_no_crossing(self):
+        assert find_crossover([0.4, 0.8], [0.1, 0.2], [0.5, 0.6]) is None
+
+    def test_candidate_wins_everywhere(self):
+        assert find_crossover([0.4, 0.8], [0.5, 0.6], [0.1, 0.2]) == 0.4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_crossover([0.1], [1.0, 2.0], [0.5])
+
+
+class TestMaxImprovement:
+    def test_paper_style_readout(self):
+        us = [0.7, 0.8, 0.9]
+        baseline = [0.5, 0.72, 0.9]
+        candidate = [0.6, 0.26, 0.5]
+        at, ratio = max_improvement(us, baseline, candidate)
+        assert at == pytest.approx(0.8)
+        assert ratio == pytest.approx(0.72 / 0.26)
+
+    def test_never_wins(self):
+        at, ratio = max_improvement([0.5], [0.1], [0.5])
+        assert at is None
+        assert ratio == 1.0
+
+    def test_zero_candidate_skipped(self):
+        at, ratio = max_improvement([0.5, 0.6], [1.0, 1.0], [0.0, 0.5])
+        assert at == pytest.approx(0.6)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "0.125" in lines[3] or "0.125" in out
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_format_series(self):
+        s = format_series("curve", [0.1, 0.2], [1.0, 2.0])
+        assert "curve" in s
+        assert "1.000" in s

@@ -1,0 +1,71 @@
+"""Latency-rate service curves and the classic bounds."""
+
+import pytest
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.calculus.service import (
+    LatencyRateServer,
+    backlog_bound,
+    delay_bound,
+    output_envelope,
+)
+
+
+class TestLatencyRateServer:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyRateServer(rate=0.0)
+        with pytest.raises(ValueError):
+            LatencyRateServer(rate=1.0, latency=-1.0)
+
+    def test_as_curve(self):
+        s = LatencyRateServer(rate=2.0, latency=1.0)
+        c = s.as_curve(3.0)
+        assert c(1.0) == pytest.approx(0.0)
+        assert c(3.0) == pytest.approx(4.0)
+
+    def test_as_curve_latency_beyond_horizon(self):
+        s = LatencyRateServer(rate=2.0, latency=5.0)
+        c = s.as_curve(3.0)
+        assert c.total == 0.0
+
+    def test_concatenation_rule(self):
+        # beta_{R1,T1} (x) beta_{R2,T2} = beta_{min R, T1+T2}.
+        a = LatencyRateServer(rate=2.0, latency=0.5)
+        b = LatencyRateServer(rate=1.0, latency=0.25)
+        c = a.concatenate(b)
+        assert c.rate == pytest.approx(1.0)
+        assert c.latency == pytest.approx(0.75)
+
+
+class TestBounds:
+    def test_delay_bound_formula(self):
+        env = ArrivalEnvelope(2.0, 0.5)
+        srv = LatencyRateServer(rate=1.0, latency=0.1)
+        assert delay_bound(env, srv) == pytest.approx(0.1 + 2.0)
+
+    def test_delay_unbounded_when_unstable(self):
+        env = ArrivalEnvelope(1.0, 2.0)
+        srv = LatencyRateServer(rate=1.0)
+        assert delay_bound(env, srv) == float("inf")
+
+    def test_backlog_bound_formula(self):
+        env = ArrivalEnvelope(2.0, 0.5)
+        srv = LatencyRateServer(rate=1.0, latency=0.2)
+        assert backlog_bound(env, srv) == pytest.approx(2.0 + 0.1)
+
+    def test_output_envelope_grows_burst(self):
+        env = ArrivalEnvelope(2.0, 0.5)
+        srv = LatencyRateServer(rate=1.0, latency=0.2)
+        out = output_envelope(env, srv)
+        assert out.sigma == pytest.approx(2.1)
+        assert out.rho == pytest.approx(0.5)
+
+    def test_output_envelope_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            output_envelope(ArrivalEnvelope(1.0, 2.0), LatencyRateServer(rate=1.0))
+
+    def test_zero_latency_server_keeps_envelope(self):
+        env = ArrivalEnvelope(1.0, 0.4)
+        out = output_envelope(env, LatencyRateServer(rate=1.0))
+        assert out == env

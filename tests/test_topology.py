@@ -1,0 +1,143 @@
+"""Underlay substrate: backbone, attachment, routing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.attach import AttachedNetwork, attach_hosts
+from repro.topology.backbone import fig5_backbone, validate_backbone, waxman_backbone
+from repro.topology.routing import (
+    host_latency_matrix,
+    host_rtt_matrix,
+    router_distance_matrix,
+)
+
+
+class TestFig5Backbone:
+    def test_nineteen_routers(self):
+        g = fig5_backbone()
+        assert g.number_of_nodes() == 19
+
+    def test_connected_with_positive_latencies(self):
+        g = fig5_backbone()
+        assert nx.is_connected(g)
+        assert all(d["latency"] > 0 for _, _, d in g.edges(data=True))
+
+    def test_latency_scaling(self):
+        a = fig5_backbone(core_latency=0.01)
+        b = fig5_backbone(core_latency=0.02)
+        ea = next(iter(a.edges(data=True)))
+        eb = next(iter(b.edges(data=True)))
+        assert eb[2]["latency"] == pytest.approx(2 * ea[2]["latency"])
+
+    def test_validate_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, latency=0.01)
+        g.add_edge(2, 3, latency=0.01)
+        with pytest.raises(ValueError, match="connected"):
+            validate_backbone(g)
+
+    def test_validate_rejects_missing_latency(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="latency"):
+            validate_backbone(g)
+
+
+class TestWaxman:
+    def test_size_and_connectivity(self):
+        g = waxman_backbone(40, rng=5)
+        assert g.number_of_nodes() == 40
+        assert nx.is_connected(g)
+
+    def test_reproducible(self):
+        a = waxman_backbone(25, rng=9)
+        b = waxman_backbone(25, rng=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            waxman_backbone(1)
+
+
+class TestAttachment:
+    def test_counts_and_ranges(self, backbone):
+        net = attach_hosts(backbone, 100, rng=1)
+        assert net.n_hosts == 100
+        assert net.n_routers == 19
+        assert np.all(net.access_latency >= 0.001)
+        assert np.all(net.access_latency <= 0.005)
+
+    def test_every_host_on_a_real_router(self, backbone):
+        net = attach_hosts(backbone, 50, rng=2)
+        assert set(net.host_router.tolist()) <= set(backbone.nodes)
+
+    def test_domains_partition_hosts(self, backbone):
+        net = attach_hosts(backbone, 80, rng=3)
+        doms = net.domains()
+        total = sum(len(v) for v in doms.values())
+        assert total == 80
+
+    def test_skewed_attachment_concentrates(self, backbone):
+        uniform = attach_hosts(backbone, 600, skew=0.0, rng=4)
+        skewed = attach_hosts(backbone, 600, skew=2.0, rng=4)
+        u_max = max(len(v) for v in uniform.domains().values())
+        s_max = max(len(v) for v in skewed.domains().values())
+        assert s_max > u_max
+
+    def test_validation(self, backbone):
+        with pytest.raises(ValueError):
+            attach_hosts(backbone, 0)
+        with pytest.raises(ValueError):
+            attach_hosts(backbone, 10, access_latency_range=(0.005, 0.001))
+        with pytest.raises(ValueError):
+            attach_hosts(backbone, 10, skew=-1.0)
+
+    def test_attached_network_validation(self, backbone):
+        with pytest.raises(ValueError, match="unknown routers"):
+            AttachedNetwork(
+                backbone,
+                host_router=np.array([999]),
+                access_latency=np.array([0.001]),
+            )
+
+
+class TestRouting:
+    def test_router_matrix_symmetric_zero_diagonal(self, backbone):
+        d = router_distance_matrix(backbone)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+        assert np.all(d[~np.eye(19, dtype=bool)] > 0)
+
+    def test_triangle_inequality(self, backbone):
+        """Shortest-path metric: d(a,c) <= d(a,b) + d(b,c)."""
+        d = router_distance_matrix(backbone)
+        n = d.shape[0]
+        via = d[:, None, :] + d[None, :, :].transpose(1, 0, 2)
+        # min over intermediate b of d(a,b)+d(b,c) >= d(a,c)
+        assert np.all(d <= via.min(axis=1) + 1e-12)
+
+    def test_host_latency_structure(self, small_network):
+        lat = host_latency_matrix(small_network)
+        n = small_network.n_hosts
+        assert lat.shape == (n, n)
+        assert np.allclose(np.diag(lat), 0.0)
+        assert np.allclose(lat, lat.T)
+
+    def test_same_router_hosts_are_close(self, small_network):
+        lat = host_latency_matrix(small_network)
+        doms = small_network.domains()
+        multi = [hs for hs in doms.values() if len(hs) >= 2]
+        if not multi:
+            pytest.skip("no multi-host domain in fixture")
+        a, b = multi[0][:2]
+        # Same-router pair: only access links, < 10 ms + no core latency.
+        assert lat[a, b] <= 0.01
+        # Cross-domain pair includes at least one core hop (>= 6 ms).
+        routers = list(doms)
+        other = doms[routers[1]][0] if routers[0] != small_network.host_router[a] else doms[routers[0]][0]
+
+    def test_rtt_is_twice_latency(self, small_network):
+        lat = host_latency_matrix(small_network)
+        rtt = host_rtt_matrix(small_network)
+        assert np.allclose(rtt, 2 * lat)

@@ -1,0 +1,71 @@
+"""Transit-stub topology generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.overlay.dsct import build_dsct_tree
+from repro.topology.attach import attach_hosts
+from repro.topology.routing import host_rtt_matrix, router_distance_matrix
+from repro.topology.transit_stub import transit_stub_backbone
+
+
+class TestGeneration:
+    def test_node_count_and_tiers(self):
+        g = transit_stub_backbone(4, 3, 5, rng=1)
+        assert g.number_of_nodes() == 4 + 4 * 3 * 5
+        tiers = nx.get_node_attributes(g, "tier")
+        assert sum(1 for t in tiers.values() if t == "transit") == 4
+
+    def test_connected_positive_latencies(self):
+        g = transit_stub_backbone(3, 2, 4, rng=2)
+        assert nx.is_connected(g)
+        assert all(d["latency"] > 0 for _, _, d in g.edges(data=True))
+
+    def test_reproducible(self):
+        a = transit_stub_backbone(3, 2, 4, rng=9)
+        b = transit_stub_backbone(3, 2, 4, rng=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_domains_are_labelled(self):
+        g = transit_stub_backbone(2, 2, 3, rng=3)
+        domains = {
+            d for _, d in nx.get_node_attributes(g, "domain").items()
+        }
+        assert len(domains) == 4  # 2 transit x 2 stubs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transit_stub_backbone(1)
+        with pytest.raises(ValueError):
+            transit_stub_backbone(3, 0, 4)
+        with pytest.raises(ValueError):
+            transit_stub_backbone(3, 2, 4, extra_stub_edges=-1)
+
+
+class TestLocalityStructure:
+    def test_intra_stub_paths_are_short(self):
+        g = transit_stub_backbone(4, 2, 5, rng=4)
+        dist = router_distance_matrix(g)
+        nodes = sorted(g.nodes)
+        domains = nx.get_node_attributes(g, "domain")
+        intra, inter = [], []
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                da, db = domains.get(a), domains.get(b)
+                if da is None or db is None:
+                    continue
+                ia, ib = nodes.index(a), nodes.index(b)
+                if da == db:
+                    intra.append(dist[ia, ib])
+                else:
+                    inter.append(dist[ia, ib])
+        assert np.mean(intra) < np.mean(inter)
+
+    def test_dsct_runs_on_transit_stub(self):
+        """The overlay machinery composes with the new underlay."""
+        g = transit_stub_backbone(3, 2, 4, rng=5)
+        net = attach_hosts(g, 80, rng=5)
+        rtt = host_rtt_matrix(net)
+        tree = build_dsct_tree(0, list(range(80)), rtt, net.host_router, rng=5)
+        assert tree.size == 80

@@ -1,0 +1,116 @@
+"""MulticastTree invariants (+ hypothesis on random parent maps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.tree import MulticastTree
+
+
+def chain_tree(n):
+    return MulticastTree(root=0, parent={i: i - 1 for i in range(1, n)})
+
+
+def star_tree(n):
+    return MulticastTree(root=0, parent={i: 0 for i in range(1, n)})
+
+
+class TestConstruction:
+    def test_lone_root(self):
+        t = MulticastTree(root=5, parent={})
+        assert t.height == 1
+        assert t.size == 1
+        assert t.critical_path() == [5]
+
+    def test_self_parent_normalised(self):
+        t = MulticastTree(root=0, parent={0: 0, 1: 0})
+        assert 0 not in t.parent
+
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTree(root=0, parent={0: 1, 1: 0})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle|disconnected"):
+            MulticastTree(root=0, parent={1: 2, 2: 1})
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            MulticastTree(root=0, parent={5: 6})
+
+
+class TestMetrics:
+    def test_chain_height(self):
+        assert chain_tree(5).height == 5
+
+    def test_star_height(self):
+        assert star_tree(5).height == 2
+
+    def test_critical_path_chain(self):
+        assert chain_tree(4).critical_path() == [0, 1, 2, 3]
+
+    def test_critical_path_deterministic_ties(self):
+        t = star_tree(4)
+        assert t.critical_path() == [0, 1]  # smallest leaf wins ties
+
+    def test_fanout(self):
+        t = star_tree(4)
+        assert t.fanout()[0] == 3
+        assert t.max_fanout() == 3
+        assert chain_tree(3).max_fanout() == 1
+
+    def test_depth_and_path(self):
+        t = chain_tree(4)
+        assert t.depth(3) == 3
+        assert t.path_from_root(2) == [0, 1, 2]
+
+    def test_members(self):
+        assert chain_tree(3).members() == {0, 1, 2}
+
+    def test_link_stress(self):
+        t = star_tree(3)
+        host_router = [0, 1, 1]
+        # Edges (1->0) and (2->0): router pairs (0,1) twice -> stress 2.
+        assert t.link_stress(host_router) == pytest.approx(2.0)
+
+    def test_propagation_along_path(self):
+        lat = np.array([[0.0, 1.0, 3.0], [1.0, 0.0, 1.5], [3.0, 1.5, 0.0]])
+        t = chain_tree(3)
+        assert t.total_propagation_to(2, lat) == pytest.approx(1.0 + 1.5)
+
+    def test_stretch_of_chain_exceeds_one(self):
+        lat = np.array([[0.0, 1.0, 1.2], [1.0, 0.0, 1.0], [1.2, 1.0, 0.0]])
+        t = chain_tree(3)
+        # Overlay path to host 2 is 2.0 vs direct 1.2.
+        assert t.stretch(lat) > 1.0
+
+    def test_relabel(self):
+        t = chain_tree(3).relabel({0: 10, 1: 11, 2: 12})
+        assert t.root == 10
+        assert t.members() == {10, 11, 12}
+        assert t.height == 3
+
+
+@st.composite
+def random_parent_maps(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    parent = {}
+    for m in range(1, n):
+        parent[m] = draw(st.integers(min_value=0, max_value=m - 1))
+    return n, parent
+
+
+@given(random_parent_maps())
+@settings(max_examples=80, deadline=None)
+def test_random_trees_satisfy_invariants(data):
+    n, parent = data
+    t = MulticastTree(root=0, parent=parent)
+    assert t.size == n
+    # Height equals 1 + max depth; critical path length equals height.
+    assert len(t.critical_path()) == t.height
+    # Children counts sum to n - 1 (every non-root has one parent).
+    assert sum(t.fanout().values()) == n - 1
+    # Every member's path ends at the root.
+    for m in list(t.members())[:10]:
+        assert t.path_from_root(m)[0] == 0

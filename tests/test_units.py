@@ -1,0 +1,54 @@
+"""Unit conversions and the C = 1 normalisation convention."""
+
+import pytest
+
+from repro.utils.units import (
+    AUDIO_RATE_BPS,
+    KBPS,
+    MBPS,
+    VIDEO_RATE_BPS,
+    aggregate_utilization,
+    bits_to_megabits,
+    megabits_to_bits,
+    ms_to_seconds,
+    normalize_rate,
+    normalized_to_rate,
+    seconds_to_ms,
+)
+
+
+def test_constants_match_paper_workloads():
+    assert AUDIO_RATE_BPS == 64 * KBPS
+    assert VIDEO_RATE_BPS == 1.5 * MBPS
+
+
+def test_megabit_round_trip():
+    assert bits_to_megabits(megabits_to_bits(3.5)) == pytest.approx(3.5)
+
+
+def test_time_conversions():
+    assert seconds_to_ms(1.5) == pytest.approx(1500.0)
+    assert ms_to_seconds(250.0) == pytest.approx(0.25)
+
+
+def test_normalize_rate_basic():
+    # A 1.5 Mbps video stream on a 10 Mbps link has rho = 0.15.
+    assert normalize_rate(VIDEO_RATE_BPS, 10 * MBPS) == pytest.approx(0.15)
+
+
+def test_normalize_round_trip():
+    rho = normalize_rate(640 * KBPS, 2 * MBPS)
+    assert normalized_to_rate(rho, 2 * MBPS) == pytest.approx(640 * KBPS)
+
+
+def test_normalize_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        normalize_rate(1.0, 0.0)
+    with pytest.raises(ValueError):
+        normalized_to_rate(0.5, -1.0)
+
+
+def test_aggregate_utilization_sums_flows():
+    # 3 video flows on a 10 Mbps link: u = 0.45 (Fig. 4(b)'s axis).
+    rates = [VIDEO_RATE_BPS] * 3
+    assert aggregate_utilization(rates, 10 * MBPS) == pytest.approx(0.45)

@@ -1,0 +1,98 @@
+"""Argument-checking helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(math.nan, "x")
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, v):
+        assert check_probability(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.1, 1.1])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ValueError):
+            check_probability(v, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive_low=False)
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 1.0, 2.0, inclusive_high=False)
+
+    def test_error_message_shows_interval(self):
+        with pytest.raises(ValueError, match=r"\(1, 2\]"):
+            check_in_range(5.0, "x", 1, 2, inclusive_low=False)
+
+
+class TestIntChecks:
+    def test_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_non_negative_int(self):
+        assert check_non_negative_int(0, "n") == 0
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "n")
+
+
+def test_same_length():
+    check_same_length("a", [1, 2], "b", [3, 4])
+    with pytest.raises(ValueError, match="same length"):
+        check_same_length("a", [1], "b", [3, 4])

@@ -1,0 +1,54 @@
+"""The analytic-vs-measured validation harness (soundness of the repo)."""
+
+import pytest
+
+from repro.experiments.validation import (
+    DEFAULT_MIXES,
+    ValidationCell,
+    validate_bounds,
+)
+from repro.workloads.profiles import VIDEO_MIX
+
+
+@pytest.fixture(scope="module")
+def cells():
+    # Reduced grid for CI; the bench runs the full one.
+    return validate_bounds(
+        mixes=(VIDEO_MIX,), utilizations=(0.6, 0.9), horizon=6.0, dt=1e-3
+    )
+
+
+class TestSoundness:
+    def test_every_cell_is_sound(self, cells):
+        bad = [c for c in cells if not c.sound]
+        assert bad == [], [
+            (c.mix_name, c.mode, c.utilization, c.tightness) for c in bad
+        ]
+
+    def test_grid_covers_both_modes(self, cells):
+        modes = {c.mode for c in cells}
+        assert modes == {"sigma-rho", "sigma-rho-lambda"}
+
+    def test_tightness_meaningful(self, cells):
+        """Synchronised streams should realise a decent fraction of the
+        worst case somewhere in the grid (the measurement is not
+        vacuously loose)."""
+        assert max(c.tightness for c in cells) > 0.2
+
+
+class TestCell:
+    def test_tightness_and_soundness(self):
+        c = ValidationCell("m", "sigma-rho", 0.5, measured=0.5, bound=1.0)
+        assert c.tightness == pytest.approx(0.5)
+        assert c.sound
+        bad = ValidationCell("m", "sigma-rho", 0.5, measured=1.2, bound=1.0)
+        assert not bad.sound
+
+    def test_zero_bound(self):
+        c = ValidationCell("m", "sigma-rho", 0.5, measured=0.0, bound=0.0)
+        assert c.tightness == 0.0
+
+
+def test_default_mixes_are_the_papers():
+    names = {m.name for m in DEFAULT_MIXES}
+    assert names == {"3xaudio", "3xvideo", "1video+2audio"}

@@ -1,0 +1,92 @@
+"""Traffic mixes and utilisation scaling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.profiles import (
+    AUDIO_MIX,
+    HETEROGENEOUS_MIX,
+    VIDEO_MIX,
+    make_mix,
+)
+
+
+class TestMixDefinitions:
+    def test_paper_mixes(self):
+        assert AUDIO_MIX.k == 3 and AUDIO_MIX.is_homogeneous
+        assert VIDEO_MIX.k == 3 and VIDEO_MIX.is_homogeneous
+        assert HETEROGENEOUS_MIX.k == 3 and not HETEROGENEOUS_MIX.is_homogeneous
+
+    def test_natural_rate_ratio(self):
+        """Video : audio = 1.5 Mbps : 64 kbps."""
+        v = HETEROGENEOUS_MIX.sources[0].rate
+        a = HETEROGENEOUS_MIX.sources[1].rate
+        assert v / a == pytest.approx(1.5e6 / 64e3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_mix("bad", ("audio", "midi"))
+
+
+class TestScaling:
+    @pytest.mark.parametrize("mix", [AUDIO_MIX, VIDEO_MIX, HETEROGENEOUS_MIX])
+    def test_at_utilization_sums_to_u(self, mix):
+        scaled = mix.at_utilization(0.8)
+        assert scaled.total_rate == pytest.approx(0.8)
+
+    def test_relative_weights_preserved(self):
+        scaled = HETEROGENEOUS_MIX.at_utilization(0.6)
+        v, a, _ = (s.rate for s in scaled.sources)
+        assert v / a == pytest.approx(1.5e6 / 64e3)
+
+    def test_generated_rate_matches(self):
+        scaled = VIDEO_MIX.at_utilization(0.6)
+        traces = scaled.generate_traces(30.0, rng=1)
+        for tr, src in zip(traces, scaled.sources):
+            assert tr.mean_rate() == pytest.approx(src.rate, rel=0.1)
+
+
+class TestTraceGeneration:
+    def test_shared_streams_are_identical(self):
+        """The paper feeds 'the same stream' to every group."""
+        scaled = VIDEO_MIX.at_utilization(0.6)
+        traces = scaled.generate_traces(5.0, rng=2, shared=True)
+        assert traces[0] is traces[1] is traces[2]
+
+    def test_independent_streams_differ(self):
+        scaled = VIDEO_MIX.at_utilization(0.6)
+        traces = scaled.generate_traces(5.0, rng=2, shared=False)
+        assert not np.array_equal(traces[0].sizes, traces[1].sizes)
+
+    def test_heterogeneous_sharing_by_kind(self):
+        scaled = HETEROGENEOUS_MIX.at_utilization(0.6)
+        traces = scaled.generate_traces(5.0, rng=3, shared=True)
+        # The two audio groups share; the video group does not.
+        assert traces[1] is traces[2]
+        assert traces[0] is not traces[1]
+
+    def test_mtu_fragmentation_applied(self):
+        scaled = VIDEO_MIX.at_utilization(0.9)
+        traces = scaled.generate_traces(5.0, rng=4, mtu=1e-3)
+        assert traces[0].sizes.max() <= 1e-3 + 1e-12
+
+    def test_reproducible(self):
+        scaled = VIDEO_MIX.at_utilization(0.5)
+        a = scaled.generate_traces(3.0, rng=9)
+        b = scaled.generate_traces(3.0, rng=9)
+        assert np.array_equal(a[0].sizes, b[0].sizes)
+
+
+class TestEnvelopes:
+    def test_envelopes_conform_to_traces(self):
+        scaled = HETEROGENEOUS_MIX.at_utilization(0.7)
+        traces = scaled.generate_traces(5.0, rng=5)
+        envs = scaled.envelopes(5.0, rng=5)
+        for tr, env in zip(traces, envs):
+            assert env.conforms(tr.to_curve(), tol=1e-6)
+
+    def test_envelope_rho_is_nominal_rate(self):
+        scaled = VIDEO_MIX.at_utilization(0.6)
+        envs = scaled.envelopes(3.0, rng=6)
+        for env, src in zip(envs, scaled.sources):
+            assert env.rho == pytest.approx(src.rate)
