@@ -1,0 +1,46 @@
+"""Batched scenario-runner throughput (scenarios/sec).
+
+The scenario matrix is only a usable regression net if sweeping
+hundreds of cells stays cheap; these benchmarks time the three cost
+centres -- generation, the vectorised analytic pass, and the full
+realise+simulate+verdict pipeline -- and assert generous throughput
+floors so CI noise does not flake.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.scenarios import generate_scenarios, run_batch
+from repro.scenarios.analytic import batch_bounds
+
+
+def test_generate_200_scenarios(benchmark):
+    scenarios = benchmark(generate_scenarios, 200, 0)
+    assert len(scenarios) == 200
+
+
+def test_vectorised_analytic_pass(benchmark):
+    """The batched bound evaluation over 200 realised envelope sets."""
+    scenarios = generate_scenarios(200, seed=0)
+    envs, modes = [], []
+    for sc in scenarios:
+        e = sc.realise_envelopes(sc.realise_traces(mtu=None))
+        envs.append(e)
+        modes.append(sc.effective_mode(e))
+    bounds, baselines = benchmark(batch_bounds, envs, modes)
+    assert bounds.shape == (200,)
+    assert baselines.shape == (200,)
+
+
+def test_batched_runner_throughput(benchmark, artifact_report):
+    """End-to-end matrix evaluation: realise, simulate, verdict."""
+    scenarios = generate_scenarios(100, seed=0)
+    report = run_once(benchmark, run_batch, scenarios)
+    assert not report.violations
+    # Floor: the 100-cell matrix must stream at >= 10 scenarios/s
+    # (observed ~100/s; an order of magnitude of headroom for CI).
+    assert report.scenarios_per_sec >= 10.0
+    artifact_report.append(
+        "== Scenario matrix throughput ==\n"
+        + "\n".join(report.summary_lines())
+    )

@@ -8,7 +8,14 @@ Regenerates any paper artefact from the shell::
     repro-experiments theory           # thresholds + improvement ratios
     repro-experiments all --quick      # everything, CI scale
 
-Output is plain text shaped like the paper's figures/tables.
+and drives the scenario-matrix cross-validation subsystem::
+
+    repro-experiments scenarios list                     # curated corpus
+    repro-experiments scenarios run --count 200 --seed 0 # matrix sweep
+
+Output is plain text shaped like the paper's figures/tables; the
+``scenarios run`` exit status is non-zero when any soundness verdict
+fails (CI-friendly).
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ EXPERIMENTS = (
     "table1", "table2", "table3",
     "theory", "validate", "all",
 )
+
+#: Subcommand families dispatched before the flat experiment parser.
+SUBCOMMANDS = ("scenarios",)
 
 
 def _print_validation(quick: bool) -> None:
@@ -123,7 +133,81 @@ def _print_theory() -> None:
     print(render_table(headers, rows, title="== DSCT height bound (Lemma 2) =="))
 
 
+def _scenarios_main(argv: list[str]) -> int:
+    """The ``scenarios`` subcommand: batched cross-validation at scale."""
+    from repro.scenarios import (
+        adversarial_corpus,
+        generate_scenarios,
+        run_batch,
+        registered_scenarios,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments scenarios",
+        description="Batched analytic-vs-simulation scenario matrix.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    p_run = sub.add_parser("run", help="evaluate a scenario matrix")
+    p_run.add_argument(
+        "--count", type=int, default=50,
+        help="number of generated scenarios (default 50)",
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="generator seed")
+    p_run.add_argument(
+        "--no-corpus", action="store_true",
+        help="skip the curated adversarial corpus",
+    )
+    p_run.add_argument(
+        "--verbose", action="store_true",
+        help="print every cell, not just the summary",
+    )
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--tag", default=None, help="filter by tag")
+    args = parser.parse_args(argv)
+
+    if args.action == "list":
+        rows = [
+            [sc.name, ",".join(sc.kinds), sc.mode, sc.topology,
+             sc.backend, f"{sc.utilization:.2f}", ",".join(sc.tags)]
+            for sc in registered_scenarios(tag=args.tag)
+        ]
+        print(render_table(
+            ["name", "kinds", "mode", "topology", "backend", "u", "tags"],
+            rows, title="== Registered scenarios ==",
+        ))
+        print(f"{len(rows)} scenarios")
+        return 0
+
+    if args.count < 0:
+        parser.error("--count must be >= 0")
+    scenarios = [] if args.no_corpus else list(adversarial_corpus())
+    if args.count:
+        scenarios += generate_scenarios(args.count, seed=args.seed)
+    if not scenarios:
+        parser.error("nothing to run (--count 0 together with --no-corpus)")
+    report = run_batch(scenarios)
+    if args.verbose:
+        rows = [
+            [o.scenario.name, o.eff_mode, o.eff_backend, o.hops,
+             o.measured, o.bound, o.tightness, "yes" if o.sound else "NO"]
+            for o in report.outcomes
+        ]
+        print(render_table(
+            ["scenario", "mode", "backend", "hops", "measured", "bound",
+             "tightness", "sound"],
+            rows, title="== Scenario matrix cross-validation ==",
+        ))
+    print("== Scenario matrix summary ==")
+    for line in report.summary_lines():
+        print(line)
+    return 1 if report.violations else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        return _scenarios_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures and tables.",

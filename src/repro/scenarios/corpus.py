@@ -1,0 +1,207 @@
+"""The curated adversarial scenario corpus.
+
+Hand-picked configurations that historically stress worst-case-bound
+reproductions the hardest:
+
+* **synchronised bursts** -- every group fed the same realisation (the
+  paper's own evaluation setup), which aligns burst arrivals and pushes
+  the measured worst case towards the analytic bound;
+* **worst-phase regulator staggering** -- the vacation schedule shifted
+  through the cycle, including the half-period phase where a burst
+  lands just after its window closes (the ``2 lambda sigma / rho``
+  term of Lemma 1 is exactly this wait);
+* **heavy-load band** -- aggregate rates at the top of the Theorem 5
+  band ``rho_bar in [1/K - 1/K^(n+1), 1/K)``, the regime the paper's
+  ``O(K^n)`` improvement claim lives in;
+* **staggered starts** -- synchronised streams skewed per flow so
+  cross-traffic bursts collide with the tagged flow mid-chain;
+* **multi-hop** -- Theorem-7 critical-path chains and a DSCT tree over
+  a transit-stub underlay, in both backends;
+* **an unstable cell** -- ``sum rho_i > C`` with infinite bounds, kept
+  to pin the vacuous-soundness path of the batch runner.
+
+Importing :mod:`repro.scenarios` registers the corpus.
+"""
+
+from __future__ import annotations
+
+from repro.core.delay_bounds import theorem5_band
+from repro.scenarios.spec import Scenario
+
+__all__ = ["adversarial_corpus"]
+
+
+def _heavy_band_utilization(k: int, n: int) -> float:
+    """An aggregate utilisation at the top of the Theorem 5 band."""
+    lo, hi = theorem5_band(k, n)
+    return min(k * (lo + 0.8 * (hi - lo)), 0.96)
+
+
+def adversarial_corpus() -> tuple[Scenario, ...]:
+    """The curated corpus (fresh tuple; registration happens on import)."""
+    scenarios = [
+        # -- synchronised bursts (the paper's own setup) ----------------
+        Scenario(
+            name="sync-burst-video",
+            kinds=("video",) * 3,
+            utilization=0.9,
+            mode="sigma-rho-lambda",
+            seed=101,
+            tags=("corpus", "sync-burst"),
+        ),
+        Scenario(
+            name="sync-burst-audio",
+            kinds=("audio",) * 3,
+            utilization=0.85,
+            mode="sigma-rho",
+            seed=102,
+            tags=("corpus", "sync-burst"),
+        ),
+        # -- worst-phase vacation staggering ----------------------------
+        *(
+            Scenario(
+                name=f"worst-phase-{int(phase * 100):02d}",
+                kinds=("video",) * 3,
+                utilization=0.88,
+                mode="sigma-rho-lambda",
+                stagger_phase=phase,
+                seed=103,
+                tags=("corpus", "worst-phase"),
+            )
+            for phase in (0.25, 0.5, 0.75)
+        ),
+        # -- Theorem 5 heavy-load band ----------------------------------
+        Scenario(
+            name="heavy-band-k2-n2",
+            kinds=("onoff",) * 2,
+            utilization=_heavy_band_utilization(2, 2),
+            mode="sigma-rho-lambda",
+            seed=104,
+            tags=("corpus", "heavy-band"),
+        ),
+        Scenario(
+            name="heavy-band-k3-n2",
+            kinds=("video",) * 3,
+            utilization=_heavy_band_utilization(3, 2),
+            mode="sigma-rho-lambda",
+            seed=105,
+            tags=("corpus", "heavy-band"),
+        ),
+        Scenario(
+            name="heavy-band-k4-n1",
+            kinds=("audio",) * 4,
+            utilization=_heavy_band_utilization(4, 1),
+            mode="sigma-rho-lambda",
+            seed=106,
+            tags=("corpus", "heavy-band"),
+        ),
+        # -- adversarial staggered starts -------------------------------
+        Scenario(
+            name="staggered-start-skew",
+            kinds=("onoff",) * 4,
+            utilization=0.8,
+            mode="sigma-rho-lambda",
+            start_offsets=(0.0, 0.05, 0.1, 0.15),
+            seed=107,
+            tags=("corpus", "staggered-start"),
+        ),
+        Scenario(
+            name="staggered-start-video",
+            kinds=("video",) * 3,
+            utilization=0.75,
+            mode="sigma-rho",
+            start_offsets=(0.0, 0.02, 0.11),
+            seed=108,
+            tags=("corpus", "staggered-start"),
+        ),
+        # -- adaptive controller on both sides of the threshold ---------
+        Scenario(
+            name="adaptive-light",
+            kinds=("video", "audio", "audio"),
+            utilization=0.4,
+            mode="adaptive",
+            seed=109,
+            tags=("corpus", "adaptive"),
+        ),
+        Scenario(
+            name="adaptive-heavy",
+            kinds=("video", "audio", "audio"),
+            utilization=0.92,
+            mode="adaptive",
+            seed=110,
+            tags=("corpus", "adaptive"),
+        ),
+        # -- multi-hop: Theorem-7 chains and a DSCT tree ----------------
+        Scenario(
+            name="chain-3hop-video",
+            kinds=("video",) * 3,
+            utilization=0.85,
+            mode="sigma-rho-lambda",
+            topology="chain",
+            hops=3,
+            propagation=0.005,
+            seed=111,
+            tags=("corpus", "chain"),
+        ),
+        Scenario(
+            name="chain-2hop-hetero",
+            kinds=("video", "onoff", "audio"),
+            utilization=0.8,
+            mode="sigma-rho",
+            topology="chain",
+            hops=2,
+            seed=112,
+            tags=("corpus", "chain"),
+        ),
+        Scenario(
+            name="tree-dsct-16",
+            kinds=("video",) * 3,
+            utilization=0.8,
+            mode="sigma-rho-lambda",
+            topology="tree",
+            tree_members=16,
+            seed=113,
+            tags=("corpus", "tree"),
+        ),
+        # -- packet-exact DES slice -------------------------------------
+        Scenario(
+            name="des-host-lambda",
+            kinds=("video",) * 3,
+            utilization=0.9,
+            mode="sigma-rho-lambda",
+            backend="des",
+            seed=114,
+            tags=("corpus", "des"),
+        ),
+        Scenario(
+            name="des-host-sigma-rho",
+            kinds=("audio",) * 3,
+            utilization=0.8,
+            mode="sigma-rho",
+            backend="des",
+            seed=115,
+            tags=("corpus", "des"),
+        ),
+        Scenario(
+            name="des-chain-2hop",
+            kinds=("video",) * 3,
+            utilization=0.8,
+            mode="sigma-rho",
+            topology="chain",
+            hops=2,
+            backend="des",
+            seed=116,
+            tags=("corpus", "des", "chain"),
+        ),
+        # -- unstable cell: infinite bounds, vacuously sound ------------
+        Scenario(
+            name="unstable-sigma-rho",
+            kinds=("cbr",) * 3,
+            utilization=1.05,
+            mode="sigma-rho",
+            horizon=1.0,
+            seed=117,
+            tags=("corpus", "unstable"),
+        ),
+    ]
+    return tuple(scenarios)

@@ -1,0 +1,278 @@
+"""Declarative scenario specifications and the scenario registry.
+
+A :class:`Scenario` is a single frozen record that composes everything
+one analytic-vs-simulation cross-validation cell needs:
+
+* **workload** -- per-flow stream kinds (the paper's audio/video plus
+  the generic CBR / Poisson / on-off families), the aggregate
+  utilisation, trace sharing (synchronised bursts) and optional
+  per-flow start-time skew (adversarial staggered starts);
+* **regulator configuration** -- control mode ((sigma, rho),
+  (sigma, rho, lambda) or the adaptive algorithm) and the vacation
+  stagger phase (the bounds hold for *any* phase, so scenarios sweep it
+  adversarially);
+* **topology** -- a single regulated host, a Theorem-7 critical-path
+  chain, or a DSCT tree built over a transit-stub underlay whose
+  critical path is reduced to a chain;
+* **execution** -- backend (vectorised fluid or packet DES), horizon,
+  grid resolution and seed.
+
+Scenarios are *specs*, not runs: :mod:`repro.scenarios.runner` realises
+traces, evaluates the analytic side in one vectorised pass and the
+simulated side per scenario, and issues the soundness verdict
+``measured <= bound + eps``.
+
+The module also hosts the process-wide registry the curated corpus
+(:mod:`repro.scenarios.corpus`) and the CLI ``scenarios list`` use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.adaptive import AdaptiveController, ControlMode
+from repro.simulation.flow import PacketTrace
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive
+from repro.workloads.profiles import DEFAULT_MTU, MIX_KINDS, TrafficMix, make_mix
+
+__all__ = [
+    "TOPOLOGIES",
+    "BACKENDS",
+    "SCENARIO_MODES",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "registered_scenarios",
+    "scenario_names",
+    "clear_registry",
+]
+
+#: Topology families a scenario can request.
+TOPOLOGIES = ("host", "chain", "tree")
+#: Simulation backends.
+BACKENDS = ("fluid", "des")
+#: Control modes (``adaptive`` resolves per realisation).
+SCENARIO_MODES = ("sigma-rho", "sigma-rho-lambda", "adaptive")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative cross-validation scenario.
+
+    Attributes
+    ----------
+    name:
+        Unique label (registry key; shows up in reports and test ids).
+    kinds:
+        Per-flow stream kinds, one entry per group flow
+        (:data:`repro.workloads.profiles.MIX_KINDS`).
+    utilization:
+        Aggregate sustained rate ``sum_i rho_i / C``.  Values >= 1 are
+        legal (unstable cells have infinite bounds and are vacuously
+        sound) but only meaningful with ``mode="sigma-rho"``.
+    mode:
+        Regulator family, or ``"adaptive"`` to let the controller pick.
+    topology:
+        ``"host"`` -- the Fig.-3 single regulated host; ``"chain"`` --
+        a Theorem-7 critical path of ``hops`` regulated hosts; ``"tree"``
+        -- a DSCT tree over a transit-stub underlay, reduced to its
+        critical path by the runner.
+    hops:
+        Chain length (``topology="chain"`` only).
+    tree_members:
+        Group size for ``topology="tree"``.
+    backend:
+        ``"fluid"`` (vectorised, default) or ``"des"`` (packet-exact).
+    discipline:
+        Worst-case service discipline for the measurement; the default
+        adversarial accounting realises the general-MUX worst case.
+    horizon:
+        Traffic injection window in seconds.
+    dt:
+        Fluid grid resolution (ignored by the DES backend).
+    seed:
+        Base seed; all randomness is derived from it via
+        :func:`repro.utils.rng.derive_seed`.
+    shared:
+        Reuse one realisation per stream kind (the paper's synchronised
+        bursts -- the adversarial default).
+    stagger_phase:
+        Fraction of the stagger period added to every vacation-regulator
+        offset, in ``[0, 1)``.
+    start_offsets:
+        Optional per-flow start-time skew in seconds (adversarial
+        staggered starts); empty means no skew.
+    propagation:
+        Per-hop underlay propagation delay (chain topology; tree
+        scenarios derive it from the underlay instead).
+    capacity:
+        Output link capacity ``C``.
+    tags:
+        Free-form labels (``scenarios list`` filters on them).
+    """
+
+    name: str
+    kinds: tuple[str, ...]
+    utilization: float
+    mode: str = "sigma-rho-lambda"
+    topology: str = "host"
+    hops: int = 1
+    tree_members: int = 0
+    backend: str = "fluid"
+    discipline: str = "adversarial"
+    horizon: float = 2.0
+    dt: float = 2e-3
+    seed: int = 0
+    shared: bool = True
+    stagger_phase: float = 0.0
+    start_offsets: tuple[float, ...] = ()
+    propagation: float = 0.0
+    capacity: float = 1.0
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if not self.kinds:
+            raise ValueError("a scenario needs at least one flow kind")
+        for kind in self.kinds:
+            if kind not in MIX_KINDS:
+                raise ValueError(
+                    f"unknown stream kind {kind!r}; expected one of {MIX_KINDS}"
+                )
+        check_positive(self.utilization, "utilization")
+        if self.mode not in SCENARIO_MODES:
+            raise ValueError(
+                f"mode must be one of {SCENARIO_MODES}, got {self.mode!r}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.topology == "chain" and self.hops < 1:
+            raise ValueError("chain scenarios need hops >= 1")
+        if self.topology == "tree" and self.tree_members < 4:
+            raise ValueError("tree scenarios need tree_members >= 4")
+        check_positive(self.horizon, "horizon")
+        check_positive(self.dt, "dt")
+        check_positive(self.capacity, "capacity")
+        if not 0.0 <= self.stagger_phase < 1.0:
+            raise ValueError(
+                f"stagger_phase must lie in [0, 1), got {self.stagger_phase}"
+            )
+        if self.start_offsets:
+            if len(self.start_offsets) != len(self.kinds):
+                raise ValueError("start_offsets must have one entry per flow")
+            if any(o < 0 for o in self.start_offsets):
+                raise ValueError("start_offsets must be >= 0")
+        if self.propagation < 0:
+            raise ValueError("propagation must be >= 0")
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of group flows at each regulated host."""
+        return len(self.kinds)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(set(self.kinds)) == 1
+
+    # -- realisation ------------------------------------------------------
+    def mix(self) -> TrafficMix:
+        """The workload as a utilisation-scaled :class:`TrafficMix`."""
+        return make_mix(self.name, self.kinds).at_utilization(
+            self.utilization, self.capacity
+        )
+
+    def realise_traces(self, mtu: Optional[float] = DEFAULT_MTU) -> list[PacketTrace]:
+        """Generate the per-flow packet traces (start skew applied)."""
+        mix = self.mix()
+        traces = mix.generate_traces(
+            self.horizon,
+            derive_seed(self.seed, "scenario", self.name),
+            shared=self.shared,
+            mtu=mtu,
+        )
+        if self.start_offsets:
+            traces = [
+                tr.shifted(off) if off > 0 else tr
+                for tr, off in zip(traces, self.start_offsets)
+            ]
+        return traces
+
+    def realise_envelopes(
+        self, traces: Sequence[PacketTrace]
+    ) -> list[ArrivalEnvelope]:
+        """Empirical (sigma_i, rho_i) envelopes of the realised traces.
+
+        The regulators are configured from these, and -- crucially for
+        soundness -- the analytic bounds are evaluated on the *same*
+        parameters, so every trace conforms to the envelope its bound
+        assumes (time skew does not change burstiness).
+        """
+        mix = self.mix()
+        return [
+            ArrivalEnvelope(max(tr.empirical_sigma(src.rate), 1e-9), src.rate)
+            for tr, src in zip(traces, mix.sources)
+        ]
+
+    def effective_mode(self, envelopes: Sequence[ArrivalEnvelope]) -> str:
+        """Resolve ``"adaptive"`` exactly the way the simulators do."""
+        if self.mode != "adaptive":
+            return self.mode
+        ctrl = AdaptiveController(envelopes, self.capacity)
+        return (
+            "sigma-rho"
+            if ctrl.select_mode() is ControlMode.SIGMA_RHO
+            else "sigma-rho-lambda"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the process-wide registry (returned unchanged)."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_scenarios(tag: Optional[str] = None) -> list[Scenario]:
+    """All registered scenarios (optionally filtered by tag), name-sorted."""
+    out = [
+        sc
+        for _, sc in sorted(_REGISTRY.items())
+        if tag is None or tag in sc.tags
+    ]
+    return out
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def clear_registry() -> None:
+    """Empty the registry (test isolation helper)."""
+    _REGISTRY.clear()

@@ -39,6 +39,8 @@ class ChainResult:
     worst_case_delay: float
     tagged_stats: DelayStats
     events: int
+    #: Cancelled events popped off the heap (see ``HostResult``).
+    cancelled_events: int = 0
 
 
 class _Relay:
@@ -69,6 +71,7 @@ def simulate_regulated_chain(
     mode: str = "sigma-rho",
     capacity: float = 1.0,
     discipline: str = "priority",
+    stagger_phase: float = 0.0,
     propagation: Optional[Sequence[float]] = None,
     horizon: Optional[float] = None,
 ) -> ChainResult:
@@ -92,6 +95,11 @@ def simulate_regulated_chain(
         lowest priority (flow id 0 -> priority 0 serves *first*), so we
         remap: the tagged flow is assigned the largest priority value to
         realise the adversarial general MUX.
+    stagger_phase:
+        Base fraction of the stagger period added to every hop's
+        vacation offsets, on top of the built-in per-hop
+        de-synchronisation (the bounds hold for any phase; adversarial
+        scenario sweeps shift it).
     propagation:
         Per-hop propagation delay entering each host (length ``hops``;
         index 0 is source -> host 0).  Defaults to zero.
@@ -141,7 +149,7 @@ def simulate_regulated_chain(
             discipline=discipline,
             # De-synchronise consecutive hops' vacation schedules by a
             # golden-ratio-ish fraction of the stagger period.
-            stagger_phase=(h * 0.37) % 1.0,
+            stagger_phase=(stagger_phase + h * 0.37) % 1.0,
         )
         mux.priorities = {0: k, **{f: f for f in range(1, k)}}
         entries_per_hop[h] = entries
@@ -173,4 +181,5 @@ def simulate_regulated_chain(
         worst_case_delay=stats.worst,
         tagged_stats=stats,
         events=sim.events_processed,
+        cancelled_events=sim.cancelled_events,
     )

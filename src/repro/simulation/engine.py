@@ -55,6 +55,11 @@ class Simulator:
         self._queue: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self.events_processed: int = 0
+        #: Cancelled events discarded when popped -- the heap residue of
+        #: the lazy O(1) cancellation.  Batch harnesses report this next
+        #: to :attr:`events_processed` so event-rate figures are honest
+        #: about how much of the heap traffic was dead weight.
+        self.cancelled_events: int = 0
 
     # ------------------------------------------------------------------
     def schedule(
@@ -112,6 +117,7 @@ class Simulator:
             ev = queue[0]
             if ev.cancelled:
                 heapq.heappop(queue)
+                self.cancelled_events += 1
                 continue
             if until is not None and ev.time > until:
                 break
@@ -131,6 +137,7 @@ class Simulator:
         """Time of the next pending event (``inf`` when idle)."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self.cancelled_events += 1
         return self._queue[0].time if self._queue else float("inf")
 
     @property

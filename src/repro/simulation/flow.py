@@ -104,6 +104,17 @@ class PacketTrace:
         keep = self.times < horizon
         return PacketTrace(self.times[keep], self.sizes[keep])
 
+    def shifted(self, offset: float) -> "PacketTrace":
+        """The same packet stream started ``offset`` seconds later.
+
+        Time translation leaves the (sigma, rho) description unchanged
+        (burstiness is a difference of the cumulative curve), which is
+        what lets adversarial scenario schedules skew per-flow start
+        times without invalidating the analytic bounds.
+        """
+        check_non_negative(offset, "offset")
+        return PacketTrace(self.times + offset, self.sizes)
+
     def fragment(self, mtu: float) -> "PacketTrace":
         """Split packets larger than ``mtu`` into MTU-sized fragments.
 

@@ -325,6 +325,7 @@ def simulate_fluid_host(
     mode: str = "adaptive",
     capacity: float = 1.0,
     discipline: str = "priority",
+    stagger_phase: float = 0.0,
     dt: float = 1e-3,
     horizon: Optional[float] = None,
     drain_margin: Optional[float] = None,
@@ -335,6 +336,10 @@ def simulate_fluid_host(
     ----------
     traces, envelopes:
         One packet trace and one (sigma, rho) description per flow.
+    stagger_phase:
+        Fraction of the stagger period added to every vacation-regulator
+        offset (the bounds hold for *any* phase; adversarial scenario
+        tests sweep it).
     dt:
         Grid resolution in seconds; measured delays carry an O(dt)
         quantisation error.
@@ -364,7 +369,7 @@ def simulate_fluid_host(
         for tr in traces
     ]
     eff_mode, shaped = _regulator_stage(
-        arrivals, t_grid, envelopes, mode, capacity, 0.0
+        arrivals, t_grid, envelopes, mode, capacity, stagger_phase
     )
     per_flow_worst = []
     if discipline == "fifo":
@@ -437,6 +442,7 @@ def simulate_fluid_chain(
     mode: str = "sigma-rho",
     capacity=1.0,
     discipline: str = "priority",
+    stagger_phase: float = 0.0,
     propagation: Optional[Sequence[float]] = None,
     dt: float = 1e-3,
     horizon: Optional[float] = None,
@@ -490,7 +496,7 @@ def simulate_fluid_chain(
         ]
         _, shaped = _regulator_stage(
             arrivals, t_grid, envelopes, mode, cap_h,
-            stagger_phase=(h * 0.37) % 1.0,
+            stagger_phase=(stagger_phase + h * 0.37) % 1.0,
         )
         # Per-hop worst-case measurement under the requested discipline.
         if discipline == "adversarial":

@@ -50,6 +50,10 @@ class HostResult:
     worst_case_delay: float
     per_flow: tuple[DelayStats, ...]
     events: int
+    #: Cancelled events popped off the heap (regulator wakeup churn);
+    #: batch harnesses report it next to ``events`` so event-rate
+    #: figures account for the lazy-cancellation residue.
+    cancelled_events: int = 0
 
     def worst_flow(self) -> int:
         """Index of the flow with the largest worst-case delay."""
@@ -148,6 +152,7 @@ def simulate_regulated_host(
     mode: str = "adaptive",
     capacity: float = 1.0,
     discipline: str = "priority",
+    stagger_phase: float = 0.0,
     horizon: Optional[float] = None,
     drain: bool = True,
 ) -> HostResult:
@@ -159,6 +164,10 @@ def simulate_regulated_host(
         One packet trace per flow (same indices as ``envelopes``).
     envelopes:
         Per-flow (sigma, rho) descriptions used to configure regulators.
+    stagger_phase:
+        Fraction of the stagger period added to every vacation-regulator
+        offset (the bounds hold for *any* phase; adversarial scenario
+        tests sweep it).
     horizon:
         Injection stops here (defaults to the longest trace).
     drain:
@@ -177,7 +186,8 @@ def simulate_regulated_host(
     sim = Simulator()
     recorder = DelayRecorder(sim)
     entries, _mux = build_regulated_host(
-        sim, envelopes, recorder, mode=mode, capacity=capacity, discipline=discipline
+        sim, envelopes, recorder, mode=mode, capacity=capacity,
+        discipline=discipline, stagger_phase=stagger_phase,
     )
     if horizon is None:
         horizon = max(tr.times[-1] + 1e-9 for tr in traces if len(tr))
@@ -200,4 +210,5 @@ def simulate_regulated_host(
         worst_case_delay=worst,
         per_flow=per_flow,
         events=sim.events_processed,
+        cancelled_events=sim.cancelled_events,
     )

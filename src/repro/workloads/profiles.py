@@ -28,12 +28,21 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.calculus.envelope import ArrivalEnvelope
-from repro.simulation.flow import AudioSource, PacketTrace, TrafficSource, VBRVideoSource
+from repro.simulation.flow import (
+    AudioSource,
+    CBRSource,
+    OnOffSource,
+    PacketTrace,
+    PoissonSource,
+    TrafficSource,
+    VBRVideoSource,
+)
 from repro.utils.rng import RandomSource, derive_seed
 from repro.utils.validation import check_positive
 
 __all__ = [
     "TrafficMix",
+    "MIX_KINDS",
     "make_mix",
     "AUDIO_MIX",
     "VIDEO_MIX",
@@ -153,20 +162,39 @@ class TrafficMix:
         ]
 
 
+#: Stream kinds accepted by :func:`make_mix`.  ``audio``/``video`` are
+#: the paper's media streams at their natural rate weights; the generic
+#: kinds (used by the scenario matrix) all carry unit weight so a mix of
+#: them splits the aggregate utilisation evenly.
+MIX_KINDS = ("audio", "video", "cbr", "poisson", "onoff")
+
+
+def _make_source(kind: str) -> TrafficSource:
+    if kind == "audio":
+        return AudioSource(rate=0.064)
+    if kind == "video":
+        return VBRVideoSource(rate=1.5)
+    if kind == "cbr":
+        return CBRSource(rate=1.0, packet_size=0.004)
+    if kind == "poisson":
+        return PoissonSource(rate=1.0, packet_size=0.004)
+    if kind == "onoff":
+        # Duty cycle 1/3: bursts at 3x the sustained rate -- the bursty
+        # workload family of the scenario matrix.
+        return OnOffSource(
+            peak_rate=3.0, mean_on=0.1, mean_off=0.2, packet_size=0.004
+        )
+    raise ValueError(f"unknown stream kind {kind!r}; expected one of {MIX_KINDS}")
+
+
 def make_mix(name: str, kinds: Sequence[str]) -> TrafficMix:
-    """Build a mix from kind labels (``"audio"`` / ``"video"``).
+    """Build a mix from kind labels (see :data:`MIX_KINDS`).
 
     Rates carry the paper's natural weights: video : audio =
-    1.5 Mbps : 64 kbps (scaled later by :meth:`TrafficMix.at_utilization`).
+    1.5 Mbps : 64 kbps (scaled later by :meth:`TrafficMix.at_utilization`);
+    the generic kinds weigh 1.0 each.
     """
-    sources: list[TrafficSource] = []
-    for kind in kinds:
-        if kind == "audio":
-            sources.append(AudioSource(rate=0.064))
-        elif kind == "video":
-            sources.append(VBRVideoSource(rate=1.5))
-        else:
-            raise ValueError(f"unknown stream kind {kind!r}")
+    sources = [_make_source(kind) for kind in kinds]
     return TrafficMix(name=name, sources=tuple(sources), kinds=tuple(kinds))
 
 

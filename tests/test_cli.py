@@ -41,3 +41,40 @@ def test_validate_quick(capsys):
     out = capsys.readouterr().out
     assert "Measured vs analytic" in out
     assert "unsound cells: 0" in out
+
+
+class TestScenariosSubcommand:
+    def test_list_shows_corpus(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered scenarios" in out
+        assert "sync-burst-video" in out
+        assert "heavy-band-k3-n2" in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["scenarios", "list", "--tag", "heavy-band"]) == 0
+        out = capsys.readouterr().out
+        assert "heavy-band-k2-n2" in out
+        assert "sync-burst-video" not in out
+
+    def test_run_small_matrix_reports_soundness(self, capsys):
+        assert main(
+            ["scenarios", "run", "--count", "6", "--seed", "3", "--no-corpus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenarios evaluated: 6" in out
+        assert "soundness violations: 0" in out
+        assert "scenarios/s" in out
+
+    def test_run_verbose_prints_cells(self, capsys):
+        assert main(
+            ["scenarios", "run", "--count", "3", "--seed", "3",
+             "--no-corpus", "--verbose"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Scenario matrix cross-validation" in out
+        assert "gen-3-0000" in out
+
+    def test_bad_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "frobnicate"])

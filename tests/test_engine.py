@@ -118,3 +118,61 @@ def test_determinism_across_runs():
         return log
 
     assert run_once() == run_once()
+
+
+def test_cancelled_events_counter():
+    sim = Simulator()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+    for ev in events[:3]:
+        ev.cancel()
+    assert sim.cancelled_events == 0  # lazy: nothing popped yet
+    sim.run()
+    assert sim.cancelled_events == 3
+    assert sim.events_processed == 2
+
+
+def test_peek_time_counts_discarded_residue():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == pytest.approx(2.0)
+    assert sim.cancelled_events == 1
+
+
+def test_equal_time_cancel_reschedule_churn_is_deterministic():
+    """Regression pin: components that cancel and reschedule at the
+    *same* timestamp (the vacation regulator's wakeup pattern) must
+    yield an identical execution order and heap-residue count on every
+    run -- lazy cancellation may never reorder live events."""
+
+    def run_once():
+        sim = Simulator()
+        log = []
+        pending = {}
+
+        def fire(name):
+            log.append((sim.now, name))
+            # Cancel a sibling scheduled at this same instant and
+            # replace it with a new equal-time event (reschedule churn).
+            victim = f"victim-{name}"
+            if victim in pending:
+                pending[victim].cancel()
+                pending[victim] = sim.schedule(sim.now, fire, f"re-{name}")
+
+        for i in range(8):
+            t = (i % 3) * 0.5
+            sim.schedule(t, fire, f"ev-{i}")
+            pending[f"victim-ev-{i}"] = sim.schedule(t, log.append, (t, f"v-{i}"))
+        sim.run()
+        return log, sim.cancelled_events, sim.events_processed
+
+    first = run_once()
+    for _ in range(3):
+        assert run_once() == first
+    log, cancelled, processed = first
+    assert cancelled == 8  # every victim was cancelled and popped
+    # Equal-time replacements run after already-queued same-time events
+    # (sequence numbers only grow), never before.
+    times = [t for t, _ in log]
+    assert times == sorted(times)

@@ -11,6 +11,7 @@ from repro.core.delay_bounds import (
 from repro.core.threshold import homogeneous_threshold
 from repro.simulation.flow import AudioSource, VBRVideoSource
 from repro.simulation.host_sim import simulate_regulated_host
+from tests.tolerances import SOUND_ABS_DES, sound_limit
 
 
 def make_scenario(u, k=3, horizon=6.0, seed=42, kind="video"):
@@ -34,7 +35,7 @@ class TestBounds:
             traces, envs, mode="sigma-rho", discipline="adversarial"
         )
         bound = remark1_wdb_homogeneous(3, sigma, rho)
-        assert res.worst_case_delay <= bound * 1.001 + 4e-3
+        assert res.worst_case_delay <= sound_limit(bound, abs_tol=SOUND_ABS_DES)
 
     @pytest.mark.parametrize("u", [0.5, 0.8, 0.95])
     def test_sigma_rho_lambda_measured_below_theorem2(self, u):
@@ -43,7 +44,7 @@ class TestBounds:
             traces, envs, mode="sigma-rho-lambda", discipline="adversarial"
         )
         bound = theorem2_wdb_homogeneous(3, sigma, rho)
-        assert res.worst_case_delay <= bound * 1.001 + 4e-3
+        assert res.worst_case_delay <= sound_limit(bound, abs_tol=SOUND_ABS_DES)
 
 
 class TestPaperShape:

@@ -1,0 +1,179 @@
+"""Property-based tests of :mod:`repro.utils.piecewise` (hypothesis).
+
+Random monotone breakpoint arrays -- fluid curves and packet
+staircases -- against the laws the delay machinery rests on:
+
+* deviation measures: identity curves deviate by zero, pure time shift
+  yields exactly that delay, vertical shift yields exactly that backlog,
+  and both measures are monotone under slowing the departure;
+* sum/minimum closure: the results are valid non-decreasing curves
+  agreeing pointwise with the operand arithmetic;
+* staircase first passage: monotone in the level, inverse to
+  evaluation, and plateau-respecting;
+* min_sigma: the tightest conformant burst really is tight (conformance
+  holds at it, fails just below it).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.utils.piecewise import PiecewiseLinearCurve
+
+
+@st.composite
+def fluid_curves(draw, max_segments=12):
+    """Random continuous non-decreasing curves from (duration, rate) runs."""
+    n = draw(st.integers(min_value=1, max_value=max_segments))
+    durations = [
+        draw(st.floats(min_value=1e-3, max_value=2.0)) for _ in range(n)
+    ]
+    # Segments are flat or carry a substantive slope: the deviation
+    # measures' level_rtol guard under-queries departure levels by
+    # ~1e-9, which a vanishing slope would amplify unboundedly.
+    rates = [
+        draw(st.one_of(st.just(0.0), st.floats(min_value=0.05, max_value=3.0)))
+        for _ in range(n)
+    ]
+    start_t = draw(st.floats(min_value=0.0, max_value=1.0))
+    start_v = draw(st.floats(min_value=0.0, max_value=1.0))
+    return PiecewiseLinearCurve.from_segments(start_t, start_v, durations, rates)
+
+
+@st.composite
+def staircases(draw, max_packets=25):
+    """Random packet-arrival staircases (instantaneous jumps)."""
+    n = draw(st.integers(min_value=1, max_value=max_packets))
+    gaps = [draw(st.floats(min_value=0.0, max_value=0.5)) for _ in range(n)]
+    times = np.cumsum(gaps)
+    sizes = np.array(
+        [draw(st.floats(min_value=1e-3, max_value=0.5)) for _ in range(n)]
+    )
+    return PiecewiseLinearCurve.from_packet_arrivals(times, sizes)
+
+
+any_curve = st.one_of(fluid_curves(), staircases())
+
+
+# ----------------------------------------------------------------------
+# Deviation measures
+# ----------------------------------------------------------------------
+class TestDeviations:
+    @given(any_curve)
+    @settings(max_examples=80, deadline=None)
+    def test_self_deviation_is_zero(self, curve):
+        assert curve.max_horizontal_deviation(curve) == pytest.approx(0.0, abs=1e-9)
+        assert curve.max_vertical_deviation(curve) == pytest.approx(0.0, abs=1e-9)
+
+    @given(any_curve, st.floats(min_value=1e-3, max_value=2.0))
+    @settings(max_examples=80, deadline=None)
+    def test_time_shift_is_exactly_the_delay(self, curve, delay):
+        # A curve pinned at zero has no measurable levels at all.
+        assume(curve.total > 1e-9)
+        delayed = curve.shift(dt=delay)
+        got = curve.max_horizontal_deviation(delayed)
+        assert got == pytest.approx(delay, rel=1e-6, abs=1e-6)
+
+    @given(any_curve, st.floats(min_value=1e-3, max_value=2.0))
+    @settings(max_examples=80, deadline=None)
+    def test_value_shift_is_exactly_the_backlog(self, curve, drop):
+        lowered = curve.shift(dv=-drop)
+        assert curve.max_vertical_deviation(lowered) == pytest.approx(
+            drop, rel=1e-9, abs=1e-9
+        )
+
+    @given(any_curve, st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_departure_lateness(self, curve, d1, d2):
+        """Delaying the departure curve further never shrinks either
+        deviation measure."""
+        near, far = sorted((d1, d2))
+        dev_near = curve.max_horizontal_deviation(curve.shift(dt=near))
+        dev_far = curve.max_horizontal_deviation(curve.shift(dt=far))
+        assert dev_far >= dev_near - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Sum / minimum closure (fluid curves)
+# ----------------------------------------------------------------------
+class TestClosure:
+    @given(fluid_curves(), fluid_curves())
+    @settings(max_examples=80, deadline=None)
+    def test_sum_closure(self, f, g):
+        s = f + g
+        assert np.all(np.diff(s.values) >= -1e-9)  # still cumulative
+        grid = np.union1d(f.times, g.times)
+        np.testing.assert_allclose(
+            s.evaluate(grid), f.evaluate(grid) + g.evaluate(grid),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @given(fluid_curves(), fluid_curves())
+    @settings(max_examples=80, deadline=None)
+    def test_min_closure(self, f, g):
+        m = f.minimum(g)
+        assert np.all(np.diff(m.values) >= -1e-9)
+        probe = np.union1d(m.times, np.union1d(f.times, g.times))
+        np.testing.assert_allclose(
+            m.evaluate(probe),
+            np.minimum(f.evaluate(probe), g.evaluate(probe)),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @given(staircases(), fluid_curves())
+    @settings(max_examples=20, deadline=None)
+    def test_staircases_rejected_by_binary_ops(self, stair, fluid):
+        with pytest.raises(ValueError, match="fluid"):
+            _ = stair + fluid
+        with pytest.raises(ValueError, match="fluid"):
+            fluid.minimum(stair)
+
+
+# ----------------------------------------------------------------------
+# Staircase first passage
+# ----------------------------------------------------------------------
+class TestFirstPassage:
+    @given(staircases())
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_level(self, stair):
+        levels = np.linspace(0.0, stair.total * 1.1, 64)
+        passage = stair.first_passage(levels)
+        finite = passage[np.isfinite(passage)]
+        assert np.all(np.diff(finite) >= -1e-12)
+
+    @given(staircases())
+    @settings(max_examples=80, deadline=None)
+    def test_levels_beyond_total_never_reached(self, stair):
+        assert stair.first_passage(stair.total + 1e-6) == np.inf
+        assert np.isfinite(stair.first_passage(stair.total))
+
+    @given(staircases())
+    @settings(max_examples=80, deadline=None)
+    def test_inverse_of_evaluation(self, stair):
+        """At the first-passage time the curve has reached the level."""
+        levels = np.linspace(stair.total * 0.05, stair.total * 0.95, 16)
+        times = stair.first_passage(levels)
+        reached = stair.evaluate(times, side="right")
+        assert np.all(reached >= levels - 1e-9)
+
+
+# ----------------------------------------------------------------------
+# min_sigma tightness
+# ----------------------------------------------------------------------
+class TestMinSigma:
+    @given(any_curve, st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=80, deadline=None)
+    def test_min_sigma_is_tight(self, curve, rho):
+        sigma = curve.min_sigma(rho)
+        assert curve.conforms(sigma, rho)
+        if sigma > 1e-6:
+            assert not curve.conforms(sigma * 0.99 - 1e-9, rho, tol=1e-12)
+
+    @given(fluid_curves())
+    @settings(max_examples=60, deadline=None)
+    def test_min_sigma_decreases_in_rho(self, curve):
+        rhos = np.linspace(0.0, 3.0, 7)
+        sigmas = [curve.min_sigma(r) for r in rhos]
+        assert all(a >= b - 1e-9 for a, b in zip(sigmas, sigmas[1:]))

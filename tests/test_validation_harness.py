@@ -8,6 +8,7 @@ from repro.experiments.validation import (
     validate_bounds,
 )
 from repro.workloads.profiles import VIDEO_MIX
+from tests.tolerances import TIGHTNESS_FLOOR
 
 
 @pytest.fixture(scope="module")
@@ -33,7 +34,7 @@ class TestSoundness:
         """Synchronised streams should realise a decent fraction of the
         worst case somewhere in the grid (the measurement is not
         vacuously loose)."""
-        assert max(c.tightness for c in cells) > 0.2
+        assert max(c.tightness for c in cells) > TIGHTNESS_FLOOR
 
 
 class TestCell:
