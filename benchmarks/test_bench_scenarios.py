@@ -9,9 +9,20 @@ floors so CI noise does not flake.
 
 from __future__ import annotations
 
+import os
+import time
+
 from benchmarks.conftest import run_once
+from repro.runtime import ProcessExecutor
 from repro.scenarios import generate_scenarios, run_batch
 from repro.scenarios.analytic import batch_bounds
+
+#: Worker count of the parallel throughput benchmark.
+PARALLEL_JOBS = 4
+#: Speedup floor asserted when the hardware can actually host the
+#: workers; recorded (extra_info) but not asserted on smaller boxes,
+#: where process parallelism cannot beat serial by construction.
+SPEEDUP_FLOOR = 2.0
 
 
 def test_generate_200_scenarios(benchmark):
@@ -43,4 +54,50 @@ def test_batched_runner_throughput(benchmark, artifact_report):
     artifact_report.append(
         "== Scenario matrix throughput ==\n"
         + "\n".join(report.summary_lines())
+    )
+
+
+def test_parallel_vs_serial_throughput(benchmark, artifact_report):
+    """Parallel campaign speedup over the serial runner (same matrix).
+
+    The speedup lands in the benchmark JSON (``extra_info``) so runs on
+    different hardware are comparable; the >= 2x floor at 4 workers is
+    asserted only where >= 4 cores exist -- on smaller machines process
+    parallelism cannot win and the number is recorded as-is.
+    """
+    scenarios = generate_scenarios(96, seed=0)
+    t0 = time.perf_counter()
+    serial = run_batch(scenarios)
+    serial_elapsed = time.perf_counter() - t0
+    parallel = run_once(
+        benchmark, run_batch, scenarios,
+        executor=ProcessExecutor(jobs=PARALLEL_JOBS),
+    )
+    assert not serial.violations and not parallel.violations
+    # Identical verdicts either way (the determinism contract).
+    assert [o.measured for o in parallel.outcomes] == [
+        o.measured for o in serial.outcomes
+    ]
+    speedup = serial_elapsed / parallel.elapsed if parallel.elapsed else 0.0
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["jobs"] = PARALLEL_JOBS
+    benchmark.extra_info["cpu_count"] = cores
+    benchmark.extra_info["serial_scenarios_per_sec"] = round(
+        serial.scenarios_per_sec, 1
+    )
+    benchmark.extra_info["parallel_scenarios_per_sec"] = round(
+        parallel.scenarios_per_sec, 1
+    )
+    benchmark.extra_info["speedup_x"] = round(speedup, 2)
+    if cores >= PARALLEL_JOBS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{PARALLEL_JOBS}-worker campaign only {speedup:.2f}x over serial"
+        )
+    artifact_report.append(
+        "== Parallel campaign speedup ==\n"
+        f"cells: {len(scenarios)}, jobs: {PARALLEL_JOBS}, cores: {cores}\n"
+        f"serial:   {serial.scenarios_per_sec:.1f} scenarios/s\n"
+        f"parallel: {parallel.scenarios_per_sec:.1f} scenarios/s\n"
+        f"speedup:  {speedup:.2f}x"
+        + ("" if cores >= PARALLEL_JOBS else "  (floor not asserted: too few cores)")
     )

@@ -12,10 +12,15 @@ and drives the scenario-matrix cross-validation subsystem::
 
     repro-experiments scenarios list                     # curated corpus
     repro-experiments scenarios run --count 200 --seed 0 # matrix sweep
+    repro-experiments scenarios run \\
+        --campaign examples/campaign_thousand.json \\
+        --jobs 4 --store campaigns/nightly --resume      # parallel campaign
+    repro-experiments scenarios diff campaigns/a campaigns/b
 
 Output is plain text shaped like the paper's figures/tables; the
-``scenarios run`` exit status is non-zero when any soundness verdict
-fails (CI-friendly).
+``scenarios run`` exit status is non-zero when any soundness or
+perf-budget verdict fails, and ``scenarios diff`` is non-zero on any
+regression between the two campaign stores (CI-friendly).
 """
 
 from __future__ import annotations
@@ -135,10 +140,19 @@ def _print_theory() -> None:
 
 def _scenarios_main(argv: list[str]) -> int:
     """The ``scenarios`` subcommand: batched cross-validation at scale."""
+    import dataclasses
+
+    from repro.runtime import (
+        CampaignConfig,
+        EXECUTOR_KINDS,
+        build_campaign,
+        diff_stores,
+        make_executor,
+        run_campaign,
+    )
     from repro.scenarios import (
         adversarial_corpus,
         generate_scenarios,
-        run_batch,
         registered_scenarios,
     )
 
@@ -154,6 +168,32 @@ def _scenarios_main(argv: list[str]) -> int:
     )
     p_run.add_argument("--seed", type=int, default=0, help="generator seed")
     p_run.add_argument(
+        "--campaign", default=None, metavar="FILE",
+        help="JSON campaign config (replaces --count/--seed generation "
+        "and skips the corpus)",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers (default 1: serial)",
+    )
+    p_run.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default=None,
+        help="execution backend (default: serial for --jobs 1, "
+        "process otherwise)",
+    )
+    p_run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="campaign directory for persistent JSONL results",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already completed in --store",
+    )
+    p_run.add_argument(
+        "--budget", type=float, default=0.0, metavar="SECONDS",
+        help="per-cell wall-clock budget verdict (0 disables)",
+    )
+    p_run.add_argument(
         "--no-corpus", action="store_true",
         help="skip the curated adversarial corpus",
     )
@@ -163,6 +203,11 @@ def _scenarios_main(argv: list[str]) -> int:
     )
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", default=None, help="filter by tag")
+    p_diff = sub.add_parser(
+        "diff", help="compare two campaign stores cell-by-cell"
+    )
+    p_diff.add_argument("old", help="baseline campaign directory")
+    p_diff.add_argument("new", help="candidate campaign directory")
     args = parser.parse_args(argv)
 
     if args.action == "list":
@@ -178,19 +223,59 @@ def _scenarios_main(argv: list[str]) -> int:
         print(f"{len(rows)} scenarios")
         return 0
 
-    if args.count < 0:
-        parser.error("--count must be >= 0")
-    scenarios = [] if args.no_corpus else list(adversarial_corpus())
-    if args.count:
-        scenarios += generate_scenarios(args.count, seed=args.seed)
-    if not scenarios:
-        parser.error("nothing to run (--count 0 together with --no-corpus)")
-    report = run_batch(scenarios)
+    if args.action == "diff":
+        diff = diff_stores(args.old, args.new)
+        print("== Campaign diff ==")
+        for line in diff.summary_lines():
+            print(line)
+        return 0 if diff.clean else 1
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
+    if args.budget < 0:
+        parser.error("--budget must be >= 0")
+    if args.campaign:
+        config = CampaignConfig.from_file(args.campaign)
+        if args.budget:
+            config = dataclasses.replace(config, perf_budget=args.budget)
+        scenarios = build_campaign(config)
+    else:
+        if args.count < 0:
+            parser.error("--count must be >= 0")
+        scenarios = [] if args.no_corpus else list(adversarial_corpus())
+        if args.budget:
+            scenarios = [
+                dataclasses.replace(sc, perf_budget=args.budget)
+                for sc in scenarios
+            ]
+        if args.count:
+            scenarios += generate_scenarios(
+                args.count, seed=args.seed, perf_budget=args.budget
+            )
+        if not scenarios:
+            parser.error("nothing to run (--count 0 together with --no-corpus)")
+    tick = None
+    if len(scenarios) >= 100:
+        # Live in-flight ticker on stderr (chunk granularity) so long
+        # campaigns are not silent until the summary.
+        def tick(done: int, total: int) -> None:
+            end = "\n" if done == total else ""
+            print(f"\r  {done}/{total} cells", end=end, file=sys.stderr, flush=True)
+
+    campaign = run_campaign(
+        scenarios,
+        executor=make_executor(args.executor, args.jobs),
+        store=args.store,
+        resume=args.resume,
+        tick=tick,
+    )
     if args.verbose:
         rows = [
             [o.scenario.name, o.eff_mode, o.eff_backend, o.hops,
              o.measured, o.bound, o.tightness, "yes" if o.sound else "NO"]
-            for o in report.outcomes
+            for o in campaign.report.outcomes
         ]
         print(render_table(
             ["scenario", "mode", "backend", "hops", "measured", "bound",
@@ -198,9 +283,9 @@ def _scenarios_main(argv: list[str]) -> int:
             rows, title="== Scenario matrix cross-validation ==",
         ))
     print("== Scenario matrix summary ==")
-    for line in report.summary_lines():
+    for line in campaign.summary_lines():
         print(line)
-    return 1 if report.violations else 0
+    return 0 if campaign.clean else 1
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,106 @@
+"""Parallel execution runtime for thousand-cell scenario campaigns.
+
+The scenario matrix (:mod:`repro.scenarios`) cross-validates the
+paper's analytic worst-case delay bounds against simulation, one
+verdict per cell.  Cells are embarrassingly parallel -- each is a pure
+function of its :class:`~repro.scenarios.spec.Scenario` spec -- and
+this package supplies the machinery that scales campaigns from the
+tier-1 smoke slice to thousands of cells:
+
+``executor`` (:mod:`repro.runtime.executor`)
+    The **executor contract**: ``map_tasks(fn, payloads)`` evaluates a
+    picklable module-level function over picklable payloads and returns
+    one ``TaskResult`` per payload *in payload order*.  Implementations:
+    ``SerialExecutor`` (the in-process reference), ``ThreadExecutor``
+    and ``ProcessExecutor`` (chunked ``concurrent.futures`` pools).
+    Failures are captured worker-side into per-cell ``TaskResult.error``
+    tracebacks -- one crashing cell fails its own verdict, never the
+    campaign -- and a hard worker death degrades into error results for
+    its chunk only.  Backends must be *semantically interchangeable*:
+    for a deterministic ``fn``, every backend returns bit-identical
+    values (the scenario runner guarantees its side by deriving all
+    randomness from the spec's seed).
+
+``store`` (:mod:`repro.runtime.store`)
+    The **persistent result store**: an append-only ``results.jsonl``
+    under a campaign directory, one record per evaluated cell, keyed by
+    a sha256 content hash of the full spec (``cell_key``) plus a
+    seed-independent ``spec_fingerprint`` used for deterministic
+    per-cell seed derivation.  Corrupt lines are quarantined to
+    ``quarantine.jsonl``, never fatal; ``summary.json`` aggregates the
+    store; ``diff_stores`` compares two campaigns cell-by-cell and
+    flags soundness and perf-budget regressions.  The record schema is
+    documented in the module docstring.
+
+``campaign`` (:mod:`repro.runtime.campaign`)
+    The driver tying both together: ``run_campaign`` evaluates a matrix
+    on an executor, appends verdicts to a store, skips already-completed
+    cells on ``resume`` and reports perf-budget violations alongside
+    soundness.  ``CampaignConfig`` is the JSON description behind the
+    CLI's ``--campaign`` flag.
+
+Usage::
+
+    from repro.runtime import ProcessExecutor, ResultStore, run_campaign
+    from repro.scenarios import generate_scenarios
+
+    report = run_campaign(
+        generate_scenarios(1000, seed=0, max_k=9, max_hops=6),
+        executor=ProcessExecutor(jobs=4),
+        store="campaigns/nightly",
+        resume=True,
+    )
+    assert report.clean
+
+or from the shell::
+
+    repro-experiments scenarios run --campaign examples/campaign_thousand.json \\
+        --jobs 4 --store campaigns/nightly --resume
+    repro-experiments scenarios diff campaigns/last-week campaigns/nightly
+"""
+
+from repro.runtime.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    build_campaign,
+    outcome_record,
+    run_campaign,
+)
+from repro.runtime.executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskResult,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.runtime.store import (
+    CampaignDiff,
+    ResultStore,
+    cell_key,
+    diff_records,
+    diff_stores,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignDiff",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "ProcessExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "TaskResult",
+    "ThreadExecutor",
+    "build_campaign",
+    "cell_key",
+    "diff_records",
+    "diff_stores",
+    "make_executor",
+    "outcome_record",
+    "run_campaign",
+    "spec_fingerprint",
+]

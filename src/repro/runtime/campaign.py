@@ -1,0 +1,262 @@
+"""Campaign driver: executor-parallel batches over a persistent store.
+
+A *campaign* is a (usually generated) scenario matrix evaluated through
+a :class:`repro.runtime.executor.Executor` with its verdicts appended
+to a :class:`repro.runtime.store.ResultStore`.  On top of
+:func:`repro.scenarios.runner.run_batch` this layer adds:
+
+* **resume** -- cells whose content-hashed key already has a completed
+  record in the store are skipped, so an interrupted thousand-cell
+  campaign continues where it stopped and a finished one re-runs as a
+  no-op;
+* **persistence** -- one JSONL record per cell plus a rewritten
+  ``summary.json`` after every run, diffable across campaigns;
+* **perf budgets** -- per-cell wall-clock budgets (see
+  ``Scenario.perf_budget``) verdicted alongside soundness.
+
+:class:`CampaignConfig` is the JSON-loadable description the CLI's
+``--campaign`` flag consumes (see ``examples/campaign_thousand.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.runtime.executor import Executor
+from repro.runtime.store import ResultStore, cell_key
+from repro.scenarios.runner import BatchReport, ScenarioOutcome, run_batch
+from repro.scenarios.spec import Scenario
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "build_campaign",
+    "outcome_record",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """JSON-loadable description of a generated campaign matrix."""
+
+    name: str = "campaign"
+    count: int = 1000
+    seed: int = 0
+    max_k: int = 6
+    max_hops: int = 3
+    horizon: float = 2.0
+    dt: float = 2e-3
+    #: Per-cell wall-clock budget in seconds (0 disables).
+    perf_budget: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.count, "count")
+        check_positive_int(self.max_k, "max_k")
+        check_positive_int(self.max_hops, "max_hops")
+        check_positive(self.horizon, "horizon")
+        check_positive(self.dt, "dt")
+        if self.perf_budget < 0:
+            raise ValueError("perf_budget must be >= 0 (0 disables)")
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignConfig":
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict):
+            raise ValueError(f"campaign config {path} must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"campaign config {path} has unknown keys {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**payload)
+
+
+def build_campaign(config: CampaignConfig) -> list[Scenario]:
+    """Generate the campaign's scenario matrix from its config."""
+    from repro.scenarios.generator import generate_scenarios
+
+    return generate_scenarios(
+        config.count,
+        seed=config.seed,
+        max_k=config.max_k,
+        max_hops=config.max_hops,
+        horizon=config.horizon,
+        dt=config.dt,
+        perf_budget=config.perf_budget,
+    )
+
+
+def outcome_record(outcome: ScenarioOutcome) -> dict:
+    """The store record (schema in :mod:`repro.runtime.store`)."""
+    from repro.runtime.store import spec_fingerprint
+
+    sc = outcome.scenario
+    return {
+        "key": cell_key(sc),
+        "fingerprint": spec_fingerprint(sc),
+        "name": sc.name,
+        "sound": bool(outcome.sound),
+        "error": outcome.error,
+        # json emits Infinity/NaN for non-finite floats and reads them back.
+        "measured": float(outcome.measured),
+        "bound": float(outcome.bound),
+        "baseline_bound": float(outcome.baseline_bound),
+        "eps": float(outcome.eps),
+        "tightness": float(outcome.tightness),
+        "eff_mode": outcome.eff_mode,
+        "eff_backend": outcome.eff_backend,
+        "hops": int(outcome.hops),
+        "propagation_total": float(outcome.propagation_total),
+        "events": int(outcome.events),
+        "cancelled_events": int(outcome.cancelled_events),
+        "height_ok": bool(outcome.height_ok),
+        "wall_time": float(outcome.wall_time),
+        "perf_budget": float(sc.perf_budget),
+        "budget_ok": bool(outcome.budget_ok),
+        "tags": list(sc.tags),
+    }
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """One campaign run: freshly evaluated cells + resume accounting.
+
+    ``skipped_violations`` / ``skipped_budget_violations`` count this
+    campaign's *resumed* cells whose stored verdicts already failed --
+    skipping a known-bad cell must not launder it into a clean exit.
+    (Stored budget verdicts stand as recorded; resume does not re-judge
+    them against a changed budget.)
+    """
+
+    report: BatchReport
+    requested: int
+    skipped: int
+    skipped_violations: int = 0
+    skipped_budget_violations: int = 0
+    store_root: Optional[str] = None
+    store_records: int = 0
+    quarantined: int = 0
+
+    @property
+    def evaluated(self) -> int:
+        return self.report.n_scenarios
+
+    @property
+    def clean(self) -> bool:
+        """No soundness/budget failure, fresh or resumed from the store."""
+        return (
+            not self.report.violations
+            and not self.report.perf_violations
+            and self.skipped_violations == 0
+            and self.skipped_budget_violations == 0
+        )
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"cells requested: {self.requested}",
+            f"cells skipped (already in store): {self.skipped}",
+        ]
+        if self.skipped_violations or self.skipped_budget_violations:
+            lines.append(
+                f"  of which already-failed in store: "
+                f"{self.skipped_violations} unsound, "
+                f"{self.skipped_budget_violations} over budget"
+            )
+        lines.extend(self.report.summary_lines())
+        if self.store_root is not None:
+            lines.append(
+                f"store: {self.store_root} ({self.store_records} records"
+                + (
+                    f", {self.quarantined} corrupt lines quarantined)"
+                    if self.quarantined
+                    else ")"
+                )
+            )
+        return lines
+
+
+def _empty_report() -> BatchReport:
+    return BatchReport(outcomes=(), elapsed=0.0)
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    *,
+    executor: Optional[Executor] = None,
+    store: Optional[Union[str, Path, ResultStore]] = None,
+    resume: bool = False,
+    progress: Optional[callable] = None,
+    tick: Optional[callable] = None,
+) -> CampaignReport:
+    """Evaluate ``scenarios`` with persistence and resume/skip.
+
+    With ``resume=True`` (requires ``store``), cells whose key already
+    has a completed (non-error) record are skipped; crashed cells are
+    retried, and skipped cells whose stored verdict already failed are
+    surfaced (``skipped_violations``) so a resumed campaign can never
+    report cleaner than the store it resumed from.  Every freshly
+    evaluated cell is appended to the store and ``summary.json`` is
+    rewritten.  ``tick(done, total)`` (optional) streams live progress
+    from the executor as chunks complete.
+    """
+    scenarios = list(scenarios)
+    result_store: Optional[ResultStore] = None
+    if store is not None:
+        result_store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+    if resume and result_store is None:
+        raise ValueError("resume=True requires a store")
+
+    todo = scenarios
+    skipped = skipped_violations = skipped_budget = 0
+    quarantined = 0
+    if resume:
+        records = result_store.load()
+        quarantined = result_store.quarantined
+        todo = []
+        for sc in scenarios:
+            rec = records.get(cell_key(sc))
+            if rec is None or rec.get("error"):
+                todo.append(sc)
+                continue
+            skipped += 1
+            if not rec.get("sound"):
+                skipped_violations += 1
+            if rec.get("budget_ok") is False:
+                skipped_budget += 1
+
+    report = (
+        run_batch(todo, executor=executor, progress=progress, tick=tick)
+        if todo
+        else _empty_report()
+    )
+
+    store_records = 0
+    if result_store is not None:
+        result_store.append_many(outcome_record(o) for o in report.outcomes)
+        summary = result_store.write_summary(
+            extra={
+                "campaign_cells_requested": len(scenarios),
+                "campaign_cells_skipped": skipped,
+            }
+        )
+        store_records = int(summary["cells"])
+        quarantined = max(quarantined, result_store.quarantined)
+    return CampaignReport(
+        report=report,
+        requested=len(scenarios),
+        skipped=skipped,
+        skipped_violations=skipped_violations,
+        skipped_budget_violations=skipped_budget,
+        store_root=str(result_store.root) if result_store else None,
+        store_records=store_records,
+        quarantined=quarantined,
+    )

@@ -1,0 +1,238 @@
+"""Pluggable execution backends for embarrassingly parallel cell work.
+
+An :class:`Executor` maps a picklable, module-level function over a
+sequence of picklable payloads and returns one :class:`TaskResult` per
+payload, **in payload order**, regardless of completion order.  Three
+backends share the contract:
+
+``SerialExecutor``
+    In-process loop; the reference semantics every other backend must
+    reproduce bit-for-bit (results may only differ by wall time).
+``ThreadExecutor``
+    ``concurrent.futures.ThreadPoolExecutor``; useful when the payload
+    releases the GIL (NumPy-heavy cells) or for I/O-bound stages.
+``ProcessExecutor``
+    ``concurrent.futures.ProcessPoolExecutor``; the scale backend for
+    CPU-bound DES cells.  Payloads are submitted in contiguous chunks
+    (amortising pickling and task dispatch), and the worker function
+    plus payloads must be picklable.
+
+Failure containment: a payload that raises is captured **inside the
+worker** and returned as ``TaskResult(error=<traceback>)`` -- one
+crashing cell never takes down its chunk, let alone the campaign.  A
+hard worker death (e.g. ``BrokenProcessPool``) is caught at the chunk
+future and degrades into error results for that chunk only.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, Executor as _FuturesExecutor, wait
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = [
+    "TaskResult",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_KINDS",
+    "make_executor",
+    "auto_chunksize",
+]
+
+#: Executor kinds :func:`make_executor` accepts.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Upper bound on the automatic chunk size (keeps progress granular).
+MAX_AUTO_CHUNK = 16
+#: Chunks-per-worker target of the automatic chunk size (load balance:
+#: several chunks per worker absorb cell-cost variance).
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One payload's outcome: a value or a captured worker traceback."""
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def auto_chunksize(n_tasks: int, jobs: int) -> int:
+    """Contiguous chunk size balancing dispatch overhead vs. skew."""
+    if n_tasks <= 0:
+        return 1
+    per_worker = -(-n_tasks // max(1, jobs * CHUNKS_PER_WORKER))  # ceil div
+    return max(1, min(MAX_AUTO_CHUNK, per_worker))
+
+
+def _run_one(fn: Callable[[Any], Any], index: int, payload: Any) -> TaskResult:
+    """Worker-side unit of execution with exception capture."""
+    t0 = time.perf_counter()
+    try:
+        value = fn(payload)
+    except Exception:
+        return TaskResult(
+            index=index,
+            error=traceback.format_exc(limit=20),
+            wall_time=time.perf_counter() - t0,
+        )
+    return TaskResult(
+        index=index, value=value, wall_time=time.perf_counter() - t0
+    )
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[tuple[int, Any]]
+) -> list[TaskResult]:
+    """Worker-side chunk loop (module-level, hence picklable)."""
+    return [_run_one(fn, index, payload) for index, payload in chunk]
+
+
+class Executor(ABC):
+    """The execution contract: ordered results, captured failures."""
+
+    #: Human-readable backend name (CLI/report labels).
+    kind: str = "abstract"
+    #: Degree of parallelism (1 for the serial backend).
+    jobs: int = 1
+
+    @abstractmethod
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> list[TaskResult]:
+        """Evaluate ``fn`` over ``payloads``; results in payload order.
+
+        ``progress`` (optional) is called as ``progress(done, total)``
+        whenever the completed-task count advances.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """The in-process reference backend."""
+
+    kind = "serial"
+
+    def map_tasks(self, fn, payloads, *, progress=None):
+        results = []
+        for i, payload in enumerate(payloads):
+            results.append(_run_one(fn, i, payload))
+            if progress is not None:
+                progress(i + 1, len(payloads))
+        return results
+
+
+class _PoolExecutor(Executor):
+    """Shared chunked-submission driver for the futures-based backends."""
+
+    def __init__(self, jobs: int = 2, chunksize: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.jobs = jobs
+        self.chunksize = chunksize
+
+    def _make_pool(self) -> _FuturesExecutor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def map_tasks(self, fn, payloads, *, progress=None):
+        n = len(payloads)
+        if n == 0:
+            return []
+        size = self.chunksize or auto_chunksize(n, self.jobs)
+        chunks = [
+            [(i, payloads[i]) for i in range(lo, min(lo + size, n))]
+            for lo in range(0, n, size)
+        ]
+        results: dict[int, TaskResult] = {}
+        done = 0
+        with self._make_pool() as pool:
+            pending = {
+                pool.submit(partial(_run_chunk, fn), chunk): chunk
+                for chunk in chunks
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    chunk = pending.pop(fut)
+                    try:
+                        chunk_results = fut.result()
+                    except Exception:
+                        # Hard worker death (BrokenProcessPool, pickling
+                        # failure): fail this chunk's cells, keep going.
+                        err = traceback.format_exc(limit=10)
+                        chunk_results = [
+                            TaskResult(index=i, error=err) for i, _ in chunk
+                        ]
+                    for tr in chunk_results:
+                        results[tr.index] = tr
+                    done += len(chunk)
+                    if progress is not None:
+                        progress(done, n)
+        return [results[i] for i in range(n)]
+
+
+class ThreadExecutor(_PoolExecutor):
+    """GIL-sharing pool; cheap dispatch, no pickling."""
+
+    kind = "thread"
+
+    def _make_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Multiprocessing pool; the scale backend for CPU-bound cells."""
+
+    kind = "process"
+
+    def _make_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+
+def make_executor(
+    kind: Optional[str] = None,
+    jobs: int = 1,
+    *,
+    chunksize: Optional[int] = None,
+) -> Executor:
+    """Build an executor from CLI-ish knobs.
+
+    ``kind=None`` picks ``serial`` for ``jobs == 1`` and ``process``
+    otherwise (the right default for CPU-bound cells).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if kind is None:
+        kind = "serial" if jobs == 1 else "process"
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"executor kind must be one of {EXECUTOR_KINDS}, got {kind!r}"
+        )
+    if kind == "serial":
+        return SerialExecutor()
+    cls = ThreadExecutor if kind == "thread" else ProcessExecutor
+    return cls(jobs=jobs, chunksize=chunksize)

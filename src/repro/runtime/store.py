@@ -1,0 +1,303 @@
+"""Persistent campaign result store with content-addressed cell keys.
+
+A campaign directory holds three files:
+
+``results.jsonl``
+    One JSON object per evaluated cell (schema below), appended as
+    cells complete.  The file is the source of truth: re-running a
+    campaign with ``resume`` skips every cell whose key already has a
+    record, so a crashed or interrupted campaign continues where it
+    stopped.  Duplicate keys are legal; the **last** record wins.
+``quarantine.jsonl``
+    Lines of ``results.jsonl`` that failed to parse (torn writes,
+    manual edits).  Corruption is never fatal: bad lines are moved
+    here on load and the campaign proceeds without them.
+``summary.json``
+    Aggregate counts rewritten after every campaign run.
+
+Cell record schema (``v`` = 1)::
+
+    {"v": 1,
+     "key": <sha256 prefix over the full scenario spec, seed included>,
+     "fingerprint": <sha256 prefix over the spec minus its seed>,
+     "name": str, "sound": bool, "error": str | null,
+     "measured": float, "bound": float, "baseline_bound": float,
+     "eps": float, "tightness": float,
+     "eff_mode": str, "eff_backend": str, "hops": int,
+     "propagation_total": float, "events": int, "cancelled_events": int,
+     "height_ok": bool, "wall_time": float,
+     "perf_budget": float, "budget_ok": bool, "tags": [str, ...]}
+
+``key`` identifies *the evaluation*: it hashes every field that can
+change a realised trace or a measured delay (any such change
+re-evaluates), but **not** ``perf_budget`` -- a budget only moves the
+verdict threshold, so tightening it must neither invalidate stored
+measurements nor decouple two otherwise-identical campaigns under
+``diff``.  ``fingerprint`` additionally drops the seed: it names the
+configuration alone, and is what deterministic per-cell seed
+derivation hashes (:func:`repro.scenarios.generator.generate_scenarios`).
+Keys are content hashes, so two campaigns are diffable cell-by-cell no
+matter how their matrices were ordered or chunked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "spec_fingerprint",
+    "cell_key",
+    "ResultStore",
+    "CampaignDiff",
+    "diff_records",
+    "diff_stores",
+]
+
+SCHEMA_VERSION = 1
+
+#: Hex digits kept from the sha256 digest (64 bits: ample for campaign
+#: sizes while keeping keys human-greppable).
+_KEY_LEN = 16
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _spec_dict(spec: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        return dataclasses.asdict(spec)
+    if isinstance(spec, Mapping):
+        return dict(spec)
+    raise TypeError(
+        f"spec must be a dataclass instance or mapping, got {type(spec).__name__}"
+    )
+
+
+#: Spec fields that cannot change a realised trace or measured delay
+#: (verdict-threshold knobs); excluded from both hashes so execution
+#: details never re-key or re-seed a cell.
+_VERDICT_ONLY_FIELDS = ("perf_budget",)
+
+
+def _hash_fields(fields: Mapping[str, Any]) -> str:
+    digest = hashlib.sha256(_canonical_json(dict(fields)).encode()).hexdigest()
+    return digest[:_KEY_LEN]
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """Content hash of a scenario spec **excluding seed and verdict knobs**.
+
+    The fingerprint names a cell's configuration; the deterministic
+    seed derivation ``derive_seed(campaign_seed, fingerprint)`` then
+    gives every cell an RNG stream that depends only on *what* the cell
+    is, never on where or when it executes or how it is verdicted.
+    """
+    fields = _spec_dict(spec)
+    fields.pop("seed", None)
+    for name in _VERDICT_ONLY_FIELDS:
+        fields.pop(name, None)
+    return _hash_fields(fields)
+
+
+def cell_key(spec: Any) -> str:
+    """Content hash of the evaluation-relevant spec (seed included).
+
+    Verdict-only knobs (``perf_budget``) are excluded: they cannot
+    change a measurement, so budget changes neither invalidate stored
+    results on resume nor break cell alignment across ``diff``.
+    """
+    fields = _spec_dict(spec)
+    for name in _VERDICT_ONLY_FIELDS:
+        fields.pop(name, None)
+    return _hash_fields(fields)
+
+
+class ResultStore:
+    """Append-only JSONL store under one campaign directory."""
+
+    RESULTS = "results.jsonl"
+    QUARANTINE = "quarantine.jsonl"
+    SUMMARY = "summary.json"
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Number of corrupt lines moved aside by the last :meth:`load`.
+        self.quarantined = 0
+
+    @property
+    def results_path(self) -> Path:
+        return self.root / self.RESULTS
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.root / self.QUARANTINE
+
+    @property
+    def summary_path(self) -> Path:
+        return self.root / self.SUMMARY
+
+    # -- writing ---------------------------------------------------------
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one cell record (must carry a ``key``)."""
+        if "key" not in record:
+            raise ValueError("a cell record needs a 'key'")
+        rec = {"v": SCHEMA_VERSION, **record}
+        with self.results_path.open("a") as fh:
+            fh.write(_canonical_json(rec) + "\n")
+
+    def append_many(self, records: Iterable[Mapping[str, Any]]) -> None:
+        for rec in records:
+            self.append(rec)
+
+    # -- reading ---------------------------------------------------------
+    def load(self) -> dict[str, dict[str, Any]]:
+        """All valid records keyed by cell key (last record wins).
+
+        Unparseable or keyless lines are moved to ``quarantine.jsonl``
+        and counted in :attr:`quarantined` -- never raised.
+        """
+        self.quarantined = 0
+        records: dict[str, dict[str, Any]] = {}
+        if not self.results_path.exists():
+            return records
+        bad: list[str] = []
+        for line in self.results_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                key = rec["key"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                bad.append(line)
+                continue
+            records[str(key)] = rec
+        if bad:
+            self.quarantined = len(bad)
+            with self.quarantine_path.open("a") as fh:
+                for line in bad:
+                    fh.write(line + "\n")
+            kept = [_canonical_json(rec) for rec in records.values()]
+            self.results_path.write_text(
+                "".join(r + "\n" for r in kept)
+            )
+        return records
+
+    def completed_keys(self) -> set[str]:
+        """Keys of cells whose evaluation finished without a crash."""
+        return {
+            key
+            for key, rec in self.load().items()
+            if not rec.get("error")
+        }
+
+    # -- summary ---------------------------------------------------------
+    def write_summary(self, extra: Optional[Mapping[str, Any]] = None) -> dict:
+        """Aggregate the store into ``summary.json`` (and return it)."""
+        records = self.load()
+        finite = [
+            r["tightness"]
+            for r in records.values()
+            if isinstance(r.get("tightness"), (int, float))
+        ]
+        summary = {
+            "v": SCHEMA_VERSION,
+            "cells": len(records),
+            "sound": sum(1 for r in records.values() if r.get("sound")),
+            "unsound": sum(
+                1
+                for r in records.values()
+                if not r.get("sound") and not r.get("error")
+            ),
+            "errors": sum(1 for r in records.values() if r.get("error")),
+            "budget_violations": sum(
+                1 for r in records.values() if r.get("budget_ok") is False
+            ),
+            "max_tightness": max(finite, default=0.0),
+            "wall_time_total": sum(
+                float(r.get("wall_time", 0.0)) for r in records.values()
+            ),
+            "quarantined_lines": self.quarantined,
+        }
+        if extra:
+            summary.update(extra)
+        self.summary_path.write_text(json.dumps(summary, indent=2) + "\n")
+        return summary
+
+
+# ----------------------------------------------------------------------
+# Campaign diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignDiff:
+    """Cell-level comparison of two campaigns (keys are cell keys)."""
+
+    regressions: tuple[str, ...]          # sound -> unsound/error
+    fixes: tuple[str, ...]                # unsound/error -> sound
+    budget_regressions: tuple[str, ...]   # within budget -> over budget
+    added: tuple[str, ...]                # only in the new campaign
+    removed: tuple[str, ...]              # only in the old campaign
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions and not self.budget_regressions
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"soundness regressions: {len(self.regressions)}",
+            f"soundness fixes: {len(self.fixes)}",
+            f"perf-budget regressions: {len(self.budget_regressions)}",
+            f"cells added: {len(self.added)}, removed: {len(self.removed)}",
+        ]
+        lines.extend(f"  REGRESSION {key}" for key in self.regressions)
+        lines.extend(
+            f"  BUDGET-REGRESSION {key}" for key in self.budget_regressions
+        )
+        return lines
+
+
+def _is_sound(rec: Mapping[str, Any]) -> bool:
+    return bool(rec.get("sound")) and not rec.get("error")
+
+
+def diff_records(
+    old: Mapping[str, Mapping[str, Any]],
+    new: Mapping[str, Mapping[str, Any]],
+) -> CampaignDiff:
+    """Compare two record maps cell by cell (content-hash aligned)."""
+    both = sorted(set(old) & set(new))
+    regressions = tuple(
+        k for k in both if _is_sound(old[k]) and not _is_sound(new[k])
+    )
+    fixes = tuple(
+        k for k in both if not _is_sound(old[k]) and _is_sound(new[k])
+    )
+    budget_regressions = tuple(
+        k
+        for k in both
+        if old[k].get("budget_ok") is not False
+        and new[k].get("budget_ok") is False
+    )
+    return CampaignDiff(
+        regressions=regressions,
+        fixes=fixes,
+        budget_regressions=budget_regressions,
+        added=tuple(sorted(set(new) - set(old))),
+        removed=tuple(sorted(set(old) - set(new))),
+    )
+
+
+def diff_stores(
+    old: Union[str, Path, ResultStore], new: Union[str, Path, ResultStore]
+) -> CampaignDiff:
+    """Diff two campaign directories (or stores)."""
+    old_store = old if isinstance(old, ResultStore) else ResultStore(old)
+    new_store = new if isinstance(new, ResultStore) else ResultStore(new)
+    return diff_records(old_store.load(), new_store.load())

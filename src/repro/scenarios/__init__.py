@@ -36,9 +36,14 @@ Quick tour
     sound) cell.  Registered on package import.
 
 ``runner`` (:mod:`repro.scenarios.runner`)
-    The batched driver: realise -> vectorised bounds -> simulate ->
-    verdicts, reported with throughput (scenarios/sec, DES event rates
-    including cancelled-event heap residue).
+    The batched driver, split into picklable stages: a worker stage
+    (``evaluate_cell``: realise + simulate one cell) that any
+    :mod:`repro.runtime` executor parallelises, then the vectorised
+    analytic pass and per-cell verdicts on the parent; reported with
+    throughput (scenarios/sec, DES event rates including
+    cancelled-event heap residue).  Campaign-scale runs -- persistent
+    stores, resume, diffing, perf budgets -- layer on top in
+    :mod:`repro.runtime.campaign`.
 
 Usage::
 

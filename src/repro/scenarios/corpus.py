@@ -163,6 +163,19 @@ def adversarial_corpus() -> tuple[Scenario, ...]:
             seed=113,
             tags=("corpus", "tree"),
         ),
+        # -- whole-tree packet DES (no critical-path reduction) ---------
+        Scenario(
+            name="tree-des-full-12",
+            kinds=("video", "audio", "audio"),
+            utilization=0.75,
+            mode="sigma-rho",
+            topology="tree",
+            tree_members=12,
+            backend="tree_des",
+            horizon=1.0,
+            seed=118,
+            tags=("corpus", "tree", "tree-des"),
+        ),
         # -- packet-exact DES slice -------------------------------------
         Scenario(
             name="des-host-lambda",

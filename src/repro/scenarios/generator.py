@@ -1,14 +1,21 @@
 """Seeded random scenario generation.
 
 :func:`generate_scenarios` draws an arbitrary-size scenario matrix from
-a single seed.  Each scenario is a stable function of ``(seed, index)``
--- child streams come from :func:`repro.utils.rng.spawn_rngs`, so
-growing the matrix never perturbs earlier scenarios (the same contract
-the experiment sweeps rely on).
+a single seed.  Each scenario's *configuration* is a stable function of
+``(seed, index)`` -- child streams come from
+:func:`repro.utils.rng.spawn_rngs`, so growing the matrix never
+perturbs earlier scenarios (the same contract the experiment sweeps
+rely on).  Each scenario's *realisation seed* is then derived solely
+from ``(campaign seed, spec fingerprint)`` via
+:func:`repro.utils.rng.derive_seed` over
+:func:`repro.runtime.store.spec_fingerprint` -- a content hash of the
+cell, not of any execution detail -- so serial and parallel campaign
+runs (any worker count, any chunking) realise bit-identical traces.
 
 The draw mixes the paper's configuration axes:
 
-* population size ``K`` (2-6 flows per host);
+* population size ``K`` (2 up to ``max_k`` flows per host; campaign
+  configs push past the paper's 6 into the K > 6 regime);
 * workload family -- homogeneous, heterogeneous, bursty (on/off
   dominated), or adversarial staggered-start (synchronised streams with
   per-flow start skew);
@@ -17,17 +24,20 @@ The draw mixes the paper's configuration axes:
 * aggregate utilisation, with a dedicated slice inside the Theorem 5
   heavy-load band ``rho_bar in [1/K - 1/K^(n+1), 1/K)`` where the
   (sigma, rho, lambda) regulator's ``O(K^n)`` advantage lives;
-* topology -- single host, critical-path chain, or DSCT tree over a
-  transit-stub underlay;
+* topology -- single host, critical-path chain (2 up to ``max_hops``
+  hops), or DSCT tree over a transit-stub underlay;
 * backend -- mostly the vectorised fluid engine, with a DES slice for
   packet-exact coverage.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.core.delay_bounds import theorem5_band
+from repro.runtime.store import spec_fingerprint
 from repro.scenarios.spec import Scenario
 from repro.utils.rng import derive_seed, spawn_rngs
 from repro.utils.validation import check_positive_int
@@ -86,11 +96,26 @@ def generate_scenarios(
     seed: int = 0,
     *,
     max_k: int = 6,
+    max_hops: int = 3,
     horizon: float = 2.0,
     dt: float = 2e-3,
+    perf_budget: float = 0.0,
 ) -> list[Scenario]:
-    """Draw ``count`` scenarios deterministically from ``seed``."""
+    """Draw ``count`` scenarios deterministically from ``seed``.
+
+    ``max_k``/``max_hops`` cap the drawn population size and chain
+    depth (campaign configs raise them past the paper's ranges);
+    ``perf_budget`` stamps every cell with a wall-clock budget verdict
+    (0 disables).  Every cell's realisation seed is
+    ``derive_seed(seed, "cell", spec_fingerprint(cell))`` -- a pure
+    function of the campaign seed and the cell's content, independent
+    of execution order, worker count and chunking.
+    """
     check_positive_int(count, "count")
+    if max_k < 2:
+        raise ValueError(f"max_k must be >= 2, got {max_k}")
+    if max_hops < 2:
+        raise ValueError(f"max_hops must be >= 2, got {max_hops}")
     rngs = spawn_rngs(derive_seed(seed, "scenario-matrix"), count)
     scenarios: list[Scenario] = []
     for i, rng in enumerate(rngs):
@@ -108,7 +133,7 @@ def generate_scenarios(
         if topo_draw < 0.70:
             topology, hops, members = "host", 1, 0
         elif topo_draw < 0.90:
-            topology, hops, members = "chain", int(rng.integers(2, 4)), 0
+            topology, hops, members = "chain", int(rng.integers(2, max_hops + 1)), 0
         else:
             topology, hops, members = "tree", 1, int(rng.integers(12, 25))
         backend = "des" if (topology != "tree" and rng.random() < 0.1) else "fluid"
@@ -119,26 +144,28 @@ def generate_scenarios(
                 float(x) for x in rng.uniform(0.0, 0.4 * horizon, size=k)
             )
             start_offsets = (0.0,) + start_offsets[1:]  # tagged flow leads
+        spec = Scenario(
+            name=f"gen-{seed}-{i:04d}-{family}-{topology}",
+            kinds=kinds,
+            utilization=round(u, 6),
+            mode=mode,
+            topology=topology,
+            hops=hops,
+            tree_members=members,
+            backend=backend,
+            horizon=horizon,
+            dt=dt,
+            seed=0,  # placeholder: replaced by the content-derived seed
+            shared=bool(rng.random() < 0.7),
+            stagger_phase=float(rng.random()),
+            start_offsets=start_offsets,
+            propagation=float(rng.choice((0.0, 0.002, 0.01)))
+            if topology == "chain"
+            else 0.0,
+            perf_budget=perf_budget,
+            tags=(family, topology, backend, load_tag),
+        )
         scenarios.append(
-            Scenario(
-                name=f"gen-{seed}-{i:04d}-{family}-{topology}",
-                kinds=kinds,
-                utilization=round(u, 6),
-                mode=mode,
-                topology=topology,
-                hops=hops,
-                tree_members=members,
-                backend=backend,
-                horizon=horizon,
-                dt=dt,
-                seed=derive_seed(seed, "scenario", i),
-                shared=bool(rng.random() < 0.7),
-                stagger_phase=float(rng.random()),
-                start_offsets=start_offsets,
-                propagation=float(rng.choice((0.0, 0.002, 0.01)))
-                if topology == "chain"
-                else 0.0,
-                tags=(family, topology, backend, load_tag),
-            )
+            replace(spec, seed=derive_seed(seed, "cell", spec_fingerprint(spec)))
         )
     return scenarios

@@ -1,25 +1,40 @@
 """The batched analytic-vs-simulation cross-validation runner.
 
 :func:`run_batch` is the engine behind ``scenarios run`` and the
-``tests/test_scenarios_*`` matrix:
+``tests/test_scenarios_*`` matrix.  It is split into three stages so
+campaigns parallelise over the :mod:`repro.runtime` executors:
 
-1. every scenario is *realised* (traces generated, empirical envelopes
-   measured, adaptive mode resolved, tree topologies reduced to their
-   critical-path chain);
-2. the analytic side -- Theorem 1/2 per hop, scaled by the Theorem 7 /
-   Remark 2 hop count, plus propagation -- is evaluated for the whole
-   batch in one vectorised NumPy pass
-   (:func:`repro.scenarios.analytic.batch_bounds`);
-3. the simulated side runs per scenario on the requested backend
-   (vectorised fluid engine or packet DES), under the adversarial
-   general-MUX accounting;
-4. each cell gets a soundness verdict ``measured <= bound + eps`` where
-   ``eps`` covers the backend's quantisation (O(dt) per hop for the
-   fluid grid, packet/window granularity for the DES).
+1. **evaluate (worker side, picklable)** -- :func:`evaluate_cell` takes
+   one :class:`Scenario` (pure primitives), realises it (traces
+   generated, empirical envelopes measured, adaptive mode resolved,
+   tree topologies built), runs the simulated side on the requested
+   backend (vectorised fluid engine, packet DES on the critical-path
+   reduction, or whole-tree packet DES) and returns a
+   :class:`CellResult` of primitives.  Both ends of the exchange pickle
+   cheaply; heavyweight intermediates (traces, trees, simulators) never
+   cross the process boundary.
+2. **analytic (parent side, vectorised)** -- Theorem 1/2 per hop,
+   scaled by the Theorem 7 / Remark 2 hop count, plus propagation, is
+   evaluated for the whole batch in one NumPy pass
+   (:func:`repro.scenarios.analytic.batch_bounds`) over the envelope
+   parameters the workers measured.
+3. **verdict (parent side)** -- each cell gets a soundness verdict
+   ``measured <= bound + eps`` where ``eps`` covers the backend's
+   quantisation (O(dt) per hop for the fluid grid, packet/window
+   granularity for the DES).  A worker exception becomes an *error
+   outcome* (``sound == False``) for that cell alone; cells may also
+   carry a wall-clock ``perf_budget`` whose violation is reported
+   separately from soundness.
 
 A soundness violation is never tolerance-tuned away: the verdict line
 is the repo's central regression net, and any `sound=False` cell is a
 bug in either the theorems' implementation or a simulator.
+
+Determinism contract: every random draw inside :func:`evaluate_cell`
+derives from ``scenario.seed`` via :func:`repro.utils.rng.derive_seed`,
+so serial and parallel executions of the same matrix produce
+bit-identical traces, measurements and verdicts regardless of worker
+count, chunking or completion order.
 """
 
 from __future__ import annotations
@@ -35,18 +50,28 @@ from repro.core.adaptive import AdaptiveController
 from repro.core.delay_bounds import theorem1_wdb_heterogeneous
 from repro.core.multicast_bounds import dsct_height_bound
 from repro.overlay.groups import MultiGroupNetwork
+from repro.runtime.executor import Executor, SerialExecutor, TaskResult
 from repro.scenarios.analytic import batch_bounds
 from repro.scenarios.spec import Scenario
 from repro.simulation.chain import simulate_regulated_chain
 from repro.simulation.flow import PacketTrace
 from repro.simulation.fluid import simulate_fluid_chain, simulate_fluid_host
 from repro.simulation.host_sim import simulate_regulated_host
+from repro.simulation.tree_sim import simulate_multicast_tree
 from repro.topology.attach import attach_hosts
 from repro.topology.transit_stub import transit_stub_backbone
 from repro.utils.rng import derive_seed
 from repro.workloads.profiles import DEFAULT_MTU
 
-__all__ = ["ScenarioOutcome", "BatchReport", "run_batch", "run_scenario"]
+__all__ = [
+    "CellResult",
+    "ScenarioOutcome",
+    "BatchReport",
+    "evaluate_cell",
+    "finalise_batch",
+    "run_batch",
+    "run_scenario",
+]
 
 #: Relative slack of the soundness verdict (float accumulation).
 EPS_REL = 1e-3
@@ -59,6 +84,31 @@ DES_MTU_FACTOR = 6.0
 #: Smallest MTU the DES backend will fragment to before falling back to
 #: the fluid backend (tiny reduced bursts would explode packet counts).
 MIN_DES_MTU = 2e-4
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Worker-side product of one evaluated cell (picklable primitives).
+
+    Everything the parent needs for the vectorised analytic pass and
+    the verdict: the measured envelope parameters (``sigmas``/``rhos``),
+    the effective execution facts, the simulated worst case and the
+    backend quantisation term ``quant_eps`` (already scaled by hop
+    count; the parent adds the float-noise slack on top).
+    """
+
+    name: str
+    eff_mode: str
+    eff_backend: str
+    hops: int
+    propagation_total: float
+    sigmas: tuple[float, ...]
+    rhos: tuple[float, ...]
+    measured: float
+    events: int
+    cancelled_events: int
+    height_ok: bool
+    quant_eps: float
 
 
 @dataclass(frozen=True)
@@ -77,21 +127,36 @@ class ScenarioOutcome:
     events: int
     cancelled_events: int
     height_ok: bool = True
+    #: Worker wall-clock spent realising + simulating this cell.
+    wall_time: float = 0.0
+    #: Captured worker traceback; a non-``None`` value fails the verdict.
+    error: Optional[str] = None
 
     @property
     def sound(self) -> bool:
         """The invariant: simulated worst case within the analytic bound.
 
         An infinite bound (unstable cell) is vacuously satisfied, but
-        the Lemma-2 height check still applies to tree cells.
+        the Lemma-2 height check still applies to tree cells; a worker
+        error fails the verdict outright.
         """
+        if self.error is not None:
+            return False
         if not np.isfinite(self.bound):
             return self.height_ok
         return self.measured <= self.bound + self.eps and self.height_ok
 
     @property
+    def budget_ok(self) -> bool:
+        """Perf verdict: worker wall time within the cell's budget."""
+        budget = self.scenario.perf_budget
+        return budget <= 0.0 or self.wall_time <= budget
+
+    @property
     def tightness(self) -> float:
-        """measured / bound (0 for infinite bounds)."""
+        """measured / bound (0 for infinite bounds and error cells)."""
+        if self.error is not None:
+            return 0.0
         if not np.isfinite(self.bound) or self.bound <= 0.0:
             return 0.0
         return self.measured / self.bound
@@ -113,6 +178,16 @@ class BatchReport:
         return tuple(o for o in self.outcomes if not o.sound)
 
     @property
+    def errors(self) -> tuple[ScenarioOutcome, ...]:
+        """Cells whose worker crashed (a subset of :attr:`violations`)."""
+        return tuple(o for o in self.outcomes if o.error is not None)
+
+    @property
+    def perf_violations(self) -> tuple[ScenarioOutcome, ...]:
+        """Cells over their declared wall-clock budget."""
+        return tuple(o for o in self.outcomes if not o.budget_ok)
+
+    @property
     def events_total(self) -> int:
         return sum(o.events for o in self.outcomes)
 
@@ -122,8 +197,15 @@ class BatchReport:
         return sum(o.cancelled_events for o in self.outcomes)
 
     @property
+    def worker_wall_total(self) -> float:
+        """Summed per-cell worker seconds (> elapsed when parallel)."""
+        return sum(o.wall_time for o in self.outcomes)
+
+    @property
     def scenarios_per_sec(self) -> float:
-        return self.n_scenarios / self.elapsed if self.elapsed > 0 else float("inf")
+        if self.n_scenarios == 0 or self.elapsed <= 0:
+            return 0.0
+        return self.n_scenarios / self.elapsed
 
     @property
     def max_tightness(self) -> float:
@@ -134,16 +216,27 @@ class BatchReport:
         lines = [
             f"scenarios evaluated: {self.n_scenarios}",
             f"soundness violations: {len(self.violations)}",
+            f"worker errors: {len(self.errors)}",
+            f"perf-budget violations: {len(self.perf_violations)}",
             f"max tightness (measured/bound): {self.max_tightness:.3f}",
             f"throughput: {self.scenarios_per_sec:.1f} scenarios/s "
-            f"({self.elapsed:.1f}s wall)",
+            f"({self.elapsed:.1f}s wall, {self.worker_wall_total:.1f}s worker)",
             f"DES events processed: {self.events_total} "
             f"(+{self.cancelled_total} cancelled heap residue)",
         ]
         for o in self.violations:
+            if o.error is not None:
+                first = o.error.strip().splitlines()[-1] if o.error.strip() else "?"
+                lines.append(f"  ERROR {o.scenario.name}: {first}")
+            else:
+                lines.append(
+                    f"  VIOLATION {o.scenario.name}: measured={o.measured:.6g} "
+                    f"> bound={o.bound:.6g} + eps={o.eps:.3g}"
+                )
+        for o in self.perf_violations:
             lines.append(
-                f"  VIOLATION {o.scenario.name}: measured={o.measured:.6g} "
-                f"> bound={o.bound:.6g} + eps={o.eps:.3g}"
+                f"  OVER-BUDGET {o.scenario.name}: wall={o.wall_time:.3g}s "
+                f"> budget={o.scenario.perf_budget:.3g}s"
             )
         return lines
 
@@ -153,7 +246,11 @@ class BatchReport:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class _Realised:
-    """A scenario with its traces, envelopes and topology resolved."""
+    """A scenario with its traces, envelopes and topology resolved.
+
+    Worker-internal: never pickled, so the tree context may hold
+    heavyweight objects.
+    """
 
     scenario: Scenario
     traces: list[PacketTrace]
@@ -166,13 +263,15 @@ class _Realised:
     height_ok: bool
     #: Extra per-hop soundness slack (DES vacation-window quantisation).
     extra_eps: float = 0.0
+    #: Whole-tree context ``(tree, latency_matrix)`` (tree_des only).
+    tree_ctx: Optional[tuple] = None
 
 
-def _resolve_tree(sc: Scenario) -> tuple[int, tuple[float, ...], bool]:
-    """Reduce a DSCT tree scenario to its critical-path chain.
+def _build_tree(sc: Scenario):
+    """Construct the DSCT tree over a transit-stub underlay.
 
-    Returns ``(hops, per-hop propagation, height_ok)`` where
-    ``height_ok`` asserts the constructed height against Lemma 2.
+    Returns ``(mgn, tree)``; seeded identically for the critical-path
+    reduction and the whole-tree backend so both see the same topology.
     """
     base = derive_seed(sc.seed, "tree-topology", sc.name)
     # One independent stream per construction stage (the convention of
@@ -184,6 +283,16 @@ def _resolve_tree(sc: Scenario) -> tuple[int, tuple[float, ...], bool]:
         net, sc.k, rng=derive_seed(base, "groups")
     )
     tree = mgn.build_tree(0, "dsct", rng=derive_seed(base, "tree"))
+    return mgn, tree
+
+
+def _resolve_tree(sc: Scenario) -> tuple[int, tuple[float, ...], bool]:
+    """Reduce a DSCT tree scenario to its critical-path chain.
+
+    Returns ``(hops, per-hop propagation, height_ok)`` where
+    ``height_ok`` asserts the constructed height against Lemma 2.
+    """
+    mgn, tree = _build_tree(sc)
     path = tree.critical_path()
     # Lemma 2 plus the one-layer slack small random domains can pack
     # (the same property the dsct construction tests assert).  The delay
@@ -195,6 +304,28 @@ def _resolve_tree(sc: Scenario) -> tuple[int, tuple[float, ...], bool]:
     lat = mgn.latency
     prop = tuple(float(lat[a, b]) for a, b in zip(path, path[1:]))
     return len(path) - 1, prop, height_ok
+
+
+def _resolve_tree_full(sc: Scenario):
+    """Realise the whole tree for the ``tree_des`` backend.
+
+    Returns ``(hops, propagation, height_ok, tree_ctx)``.  A receiver
+    at depth ``d`` crosses ``d + 1`` regulated-host pipelines (every
+    member, the leaf included, forwards through its own pipeline before
+    local delivery), so the hop count charged to the analytic side is
+    the tree *height* (layers, Lemma 2's ``H``), and the propagation
+    term is the worst root-to-member latency sum -- together they
+    dominate every receiver's path.
+    """
+    mgn, tree = _build_tree(sc)
+    height_ok = tree.height <= dsct_height_bound(tree.size) + 1
+    lat = mgn.latency
+    worst_prop = 0.0
+    for member in tree.members():
+        path = tree.path_from_root(member)
+        prop = sum(float(lat[a, b]) for a, b in zip(path, path[1:]))
+        worst_prop = max(worst_prop, prop)
+    return tree.height, (worst_prop,), height_ok, (tree, lat)
 
 
 def _des_lambda_fit(
@@ -247,15 +378,19 @@ def _realise(sc: Scenario) -> _Realised:
         else:
             mtu, extra_eps = fit
     traces = [tr.fragment(mtu) for tr in raw]
+    tree_ctx = None
     if sc.topology == "tree":
-        hops, prop, height_ok = _resolve_tree(sc)
+        if backend == "tree_des":
+            hops, prop, height_ok, tree_ctx = _resolve_tree_full(sc)
+        else:
+            hops, prop, height_ok = _resolve_tree(sc)
     elif sc.topology == "chain":
         hops, prop, height_ok = sc.hops, (sc.propagation,) * sc.hops, True
     else:
         hops, prop, height_ok = 1, (0.0,), True
     return _Realised(
         sc, traces, envelopes, eff_mode, backend, mtu, hops, prop,
-        height_ok, extra_eps,
+        height_ok, extra_eps, tree_ctx,
     )
 
 
@@ -265,6 +400,19 @@ def _realise(sc: Scenario) -> _Realised:
 def _simulate(r: _Realised) -> tuple[float, int, int]:
     """Run one realised scenario; returns (measured, events, cancelled)."""
     sc = r.scenario
+    if r.eff_backend == "tree_des":
+        tree, latency = r.tree_ctx
+        res = simulate_multicast_tree(
+            [tree],
+            0,
+            r.traces,
+            r.envelopes,
+            latency,
+            mode=r.eff_mode,
+            capacity=sc.capacity,
+            discipline=sc.discipline,
+        )
+        return res.worst_case_delay, res.events, 0
     if sc.topology == "host":
         if r.eff_backend == "fluid":
             res = simulate_fluid_host(
@@ -314,14 +462,125 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
     return des.worst_case_delay, des.events, des.cancelled_events
 
 
-def _eps_for(r: _Realised, bound: float) -> float:
-    """Soundness slack: float noise + backend quantisation per hop."""
-    rel = EPS_REL * bound if np.isfinite(bound) else 0.0
+def _quant_eps(r: _Realised) -> float:
+    """Backend quantisation slack, already scaled by hop count."""
     if r.eff_backend == "fluid":
-        quant = FLUID_GRID_FACTOR * r.scenario.dt * r.hops
-    else:
-        quant = (DES_MTU_FACTOR * r.mtu + r.extra_eps) * r.hops
-    return rel + EPS_ABS + quant
+        return FLUID_GRID_FACTOR * r.scenario.dt * r.hops
+    if r.eff_backend == "tree_des":
+        return DES_MTU_FACTOR * r.mtu * r.hops
+    return (DES_MTU_FACTOR * r.mtu + r.extra_eps) * r.hops
+
+
+# ----------------------------------------------------------------------
+# Worker stage
+# ----------------------------------------------------------------------
+def evaluate_cell(scenario: Scenario) -> CellResult:
+    """Realise and simulate one cell (the picklable worker stage).
+
+    Exceptions deliberately propagate: the executor layer captures them
+    into per-cell error results, which :func:`finalise_batch` turns
+    into failed verdicts.
+    """
+    r = _realise(scenario)
+    measured, events, cancelled = _simulate(r)
+    return CellResult(
+        name=scenario.name,
+        eff_mode=r.eff_mode,
+        eff_backend=r.eff_backend,
+        hops=r.hops,
+        propagation_total=float(sum(r.propagation)),
+        sigmas=tuple(float(e.sigma) for e in r.envelopes),
+        rhos=tuple(float(e.rho) for e in r.envelopes),
+        measured=float(measured),
+        events=events,
+        cancelled_events=cancelled,
+        height_ok=r.height_ok,
+        quant_eps=_quant_eps(r),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent stages: vectorised bounds + verdicts
+# ----------------------------------------------------------------------
+def _error_outcome(
+    sc: Scenario, task: TaskResult
+) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        scenario=sc,
+        eff_mode=sc.mode,
+        eff_backend=sc.backend,
+        hops=0,
+        propagation_total=0.0,
+        measured=float("nan"),
+        bound=float("nan"),
+        baseline_bound=float("nan"),
+        eps=0.0,
+        events=0,
+        cancelled_events=0,
+        height_ok=True,
+        wall_time=task.wall_time,
+        error=task.error or "unknown worker error",
+    )
+
+
+def finalise_batch(
+    scenarios: Sequence[Scenario],
+    tasks: Sequence[TaskResult],
+    elapsed: float,
+    *,
+    progress: Optional[callable] = None,
+) -> BatchReport:
+    """Vectorised analytic pass + per-cell verdicts over worker results.
+
+    ``progress`` (optional) is called as ``progress(i, n, outcome)``
+    per finalised cell.
+    """
+    if len(tasks) != len(scenarios):
+        raise ValueError("one task result per scenario is required")
+    ok = [i for i, t in enumerate(tasks) if t.ok]
+    bounds = np.full(len(scenarios), np.nan)
+    baselines = np.full(len(scenarios), np.nan)
+    if ok:
+        cells: list[CellResult] = [tasks[i].value for i in ok]
+        ok_bounds, ok_baselines = batch_bounds(
+            [
+                [ArrivalEnvelope(s, r) for s, r in zip(c.sigmas, c.rhos)]
+                for c in cells
+            ],
+            [c.eff_mode for c in cells],
+            hops=[c.hops for c in cells],
+            propagation_total=[c.propagation_total for c in cells],
+            capacity=[scenarios[i].capacity for i in ok],
+        )
+        bounds[ok] = ok_bounds
+        baselines[ok] = ok_baselines
+    outcomes: list[ScenarioOutcome] = []
+    for i, (sc, task) in enumerate(zip(scenarios, tasks)):
+        if not task.ok:
+            outcome = _error_outcome(sc, task)
+        else:
+            cell: CellResult = task.value
+            bound = float(bounds[i])
+            rel = EPS_REL * bound if np.isfinite(bound) else 0.0
+            outcome = ScenarioOutcome(
+                scenario=sc,
+                eff_mode=cell.eff_mode,
+                eff_backend=cell.eff_backend,
+                hops=cell.hops,
+                propagation_total=cell.propagation_total,
+                measured=cell.measured,
+                bound=bound,
+                baseline_bound=float(baselines[i]),
+                eps=rel + EPS_ABS + cell.quant_eps,
+                events=cell.events,
+                cancelled_events=cell.cancelled_events,
+                height_ok=cell.height_ok,
+                wall_time=task.wall_time,
+            )
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(i, len(scenarios), outcome)
+    return BatchReport(outcomes=tuple(outcomes), elapsed=elapsed)
 
 
 # ----------------------------------------------------------------------
@@ -330,46 +589,27 @@ def _eps_for(r: _Realised, bound: float) -> float:
 def run_batch(
     scenarios: Sequence[Scenario],
     *,
+    executor: Optional[Executor] = None,
     progress: Optional[callable] = None,
+    tick: Optional[callable] = None,
 ) -> BatchReport:
-    """Evaluate a scenario matrix: vectorised bounds, per-cell verdicts.
+    """Evaluate a scenario matrix: parallel cells, vectorised bounds.
 
-    ``progress`` (optional) is called as ``progress(i, n, outcome)``
-    after each simulated cell.
+    ``executor`` defaults to the in-process serial backend; any
+    :class:`repro.runtime.executor.Executor` parallelises the worker
+    stage with identical results.  ``tick`` (optional) is called as
+    ``tick(done, total)`` while cells are in flight (per completed
+    chunk); ``progress`` (optional) is called as
+    ``progress(i, n, outcome)`` per finalised cell afterwards.
     """
     if not scenarios:
         raise ValueError("at least one scenario is required")
+    scenarios = list(scenarios)
     t0 = time.perf_counter()
-    realised = [_realise(sc) for sc in scenarios]
-    bounds, baselines = batch_bounds(
-        [r.envelopes for r in realised],
-        [r.eff_mode for r in realised],
-        hops=[r.hops for r in realised],
-        propagation_total=[float(sum(r.propagation)) for r in realised],
-        capacity=[r.scenario.capacity for r in realised],
-    )
-    outcomes: list[ScenarioOutcome] = []
-    for i, r in enumerate(realised):
-        measured, events, cancelled = _simulate(r)
-        outcome = ScenarioOutcome(
-            scenario=r.scenario,
-            eff_mode=r.eff_mode,
-            eff_backend=r.eff_backend,
-            hops=r.hops,
-            propagation_total=float(sum(r.propagation)),
-            measured=float(measured),
-            bound=float(bounds[i]),
-            baseline_bound=float(baselines[i]),
-            eps=_eps_for(r, float(bounds[i])),
-            events=events,
-            cancelled_events=cancelled,
-            height_ok=r.height_ok,
-        )
-        outcomes.append(outcome)
-        if progress is not None:
-            progress(i, len(realised), outcome)
-    return BatchReport(
-        outcomes=tuple(outcomes), elapsed=time.perf_counter() - t0
+    ex = executor if executor is not None else SerialExecutor()
+    tasks = ex.map_tasks(evaluate_cell, scenarios, progress=tick)
+    return finalise_batch(
+        scenarios, tasks, time.perf_counter() - t0, progress=progress
     )
 
 

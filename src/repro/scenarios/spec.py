@@ -52,8 +52,10 @@ __all__ = [
 
 #: Topology families a scenario can request.
 TOPOLOGIES = ("host", "chain", "tree")
-#: Simulation backends.
-BACKENDS = ("fluid", "des")
+#: Simulation backends.  ``tree_des`` runs the packet DES over the
+#: *whole* DSCT tree (replication at every member) instead of the
+#: critical-path chain reduction.
+BACKENDS = ("fluid", "des", "tree_des")
 #: Control modes (``adaptive`` resolves per realisation).
 SCENARIO_MODES = ("sigma-rho", "sigma-rho-lambda", "adaptive")
 
@@ -85,7 +87,12 @@ class Scenario:
     tree_members:
         Group size for ``topology="tree"``.
     backend:
-        ``"fluid"`` (vectorised, default) or ``"des"`` (packet-exact).
+        ``"fluid"`` (vectorised, default), ``"des"`` (packet-exact on
+        the critical-path reduction) or ``"tree_des"`` (packet-exact
+        over the whole DSCT tree with per-member replication; requires
+        ``topology="tree"`` and ``mode="sigma-rho"`` -- the vacation
+        window fit of the (sigma, rho, lambda) DES regulator does not
+        scale to a hundred member pipelines).
     discipline:
         Worst-case service discipline for the measurement; the default
         adversarial accounting realises the general-MUX worst case.
@@ -110,6 +117,11 @@ class Scenario:
         scenarios derive it from the underlay instead).
     capacity:
         Output link capacity ``C``.
+    perf_budget:
+        Optional wall-clock budget for realising + simulating this
+        cell, in seconds (0 disables).  The runtime flags cells over
+        budget as perf regressions -- a verdict on the *simulator*,
+        separate from the soundness verdict on the bounds.
     tags:
         Free-form labels (``scenarios list`` filters on them).
     """
@@ -131,6 +143,7 @@ class Scenario:
     start_offsets: tuple[float, ...] = ()
     propagation: float = 0.0
     capacity: float = 1.0
+    perf_budget: float = 0.0
     tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -160,6 +173,11 @@ class Scenario:
             raise ValueError("chain scenarios need hops >= 1")
         if self.topology == "tree" and self.tree_members < 4:
             raise ValueError("tree scenarios need tree_members >= 4")
+        if self.backend == "tree_des":
+            if self.topology != "tree":
+                raise ValueError("backend 'tree_des' requires topology 'tree'")
+            if self.mode != "sigma-rho":
+                raise ValueError("backend 'tree_des' requires mode 'sigma-rho'")
         check_positive(self.horizon, "horizon")
         check_positive(self.dt, "dt")
         check_positive(self.capacity, "capacity")
@@ -174,6 +192,8 @@ class Scenario:
                 raise ValueError("start_offsets must be >= 0")
         if self.propagation < 0:
             raise ValueError("propagation must be >= 0")
+        if self.perf_budget < 0:
+            raise ValueError("perf_budget must be >= 0 (0 disables)")
 
     # -- derived ---------------------------------------------------------
     @property

@@ -78,3 +78,72 @@ class TestScenariosSubcommand:
     def test_bad_subcommand_rejected(self):
         with pytest.raises(SystemExit):
             main(["scenarios", "frobnicate"])
+
+
+class TestScenariosRuntime:
+    """The parallel-runtime flags: --jobs/--store/--resume/--campaign/diff."""
+
+    pytestmark = pytest.mark.runtime
+
+    def test_run_parallel_jobs(self, capsys):
+        assert main(
+            ["scenarios", "run", "--count", "8", "--seed", "3",
+             "--no-corpus", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenarios evaluated: 8" in out
+        assert "soundness violations: 0" in out
+
+    def test_store_and_resume_evaluate_zero_new_cells(self, capsys, tmp_path):
+        store = str(tmp_path / "camp")
+        argv = ["scenarios", "run", "--count", "6", "--seed", "3",
+                "--no-corpus", "--store", store]
+        assert main(argv) == 0
+        assert "scenarios evaluated: 6" in capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "cells skipped (already in store): 6" in out
+        assert "scenarios evaluated: 0" in out
+
+    def test_campaign_config_file(self, capsys, tmp_path):
+        config = tmp_path / "c.json"
+        config.write_text('{"count": 5, "seed": 9, "max_k": 7, "max_hops": 4}')
+        assert main(
+            ["scenarios", "run", "--campaign", str(config), "--jobs", "2"]
+        ) == 0
+        assert "scenarios evaluated: 5" in capsys.readouterr().out
+
+    def test_diff_clean_campaigns(self, capsys, tmp_path):
+        store = str(tmp_path / "camp")
+        argv = ["scenarios", "run", "--count", "4", "--seed", "5",
+                "--no-corpus", "--store", store]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "diff", store, store]) == 0
+        out = capsys.readouterr().out
+        assert "soundness regressions: 0" in out
+
+    def test_diff_flags_regression(self, capsys, tmp_path):
+        from repro.runtime import ResultStore
+
+        old, new = tmp_path / "old", tmp_path / "new"
+        ResultStore(old).append({"key": "aa", "sound": True})
+        ResultStore(new).append({"key": "aa", "sound": False})
+        assert main(["scenarios", "diff", str(old), str(new)]) == 1
+        assert "REGRESSION aa" in capsys.readouterr().out
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "2", "--resume"])
+
+    def test_budget_flag_flags_slow_cells(self, capsys):
+        assert main(
+            ["scenarios", "run", "--count", "3", "--seed", "3",
+             "--no-corpus", "--budget", "1e-9"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "perf-budget violations: 3" in out
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "2", "--jobs", "0"])

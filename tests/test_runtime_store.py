@@ -1,0 +1,178 @@
+"""The persistent result store: keys, resume, corruption, diffing.
+
+The store is the campaign's memory: content-hashed keys make resume
+and cross-campaign diffing order-independent, and a half-written line
+(killed campaign, manual edit) must quarantine rather than kill the
+next run.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.store import (
+    ResultStore,
+    cell_key,
+    diff_records,
+    diff_stores,
+    spec_fingerprint,
+)
+from repro.scenarios.spec import Scenario
+
+pytestmark = pytest.mark.runtime
+
+
+def _sc(**kw):
+    base = dict(name="cell", kinds=("audio",) * 2, utilization=0.5, seed=3)
+    base.update(kw)
+    return Scenario(**base)
+
+
+def _rec(key, *, sound=True, error=None, budget_ok=True, tightness=0.5):
+    return {
+        "key": key,
+        "sound": sound,
+        "error": error,
+        "budget_ok": budget_ok,
+        "tightness": tightness,
+        "wall_time": 0.1,
+    }
+
+
+class TestKeys:
+    def test_key_covers_every_field_including_seed(self):
+        a, b = _sc(seed=1), _sc(seed=2)
+        assert cell_key(a) != cell_key(b)
+        assert cell_key(a) == cell_key(_sc(seed=1))
+
+    def test_fingerprint_ignores_seed_only(self):
+        assert spec_fingerprint(_sc(seed=1)) == spec_fingerprint(_sc(seed=2))
+        assert spec_fingerprint(_sc(utilization=0.5)) != spec_fingerprint(
+            _sc(utilization=0.6)
+        )
+        assert spec_fingerprint(_sc(name="a")) != spec_fingerprint(_sc(name="b"))
+
+    def test_keys_are_short_hex(self):
+        key = cell_key(_sc())
+        assert len(key) == 16
+        int(key, 16)  # parses as hex
+
+    def test_verdict_knobs_never_rekey_or_reseed(self):
+        """perf_budget moves the verdict threshold, not the measurement:
+        changing it must not invalidate stored cells or reseed traces."""
+        plain, budgeted = _sc(), _sc(perf_budget=60.0)
+        assert cell_key(plain) == cell_key(budgeted)
+        assert spec_fingerprint(plain) == spec_fingerprint(budgeted)
+
+
+class TestStoreRoundtrip:
+    def test_append_load(self, tmp_path):
+        store = ResultStore(tmp_path / "camp")
+        store.append(_rec("aa"))
+        store.append(_rec("bb", sound=False))
+        records = store.load()
+        assert set(records) == {"aa", "bb"}
+        assert records["bb"]["sound"] is False
+        assert records["aa"]["v"] == 1
+
+    def test_nonfinite_floats_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append({"key": "inf", "bound": float("inf"), "measured": float("nan")})
+        rec = store.load()["inf"]
+        assert rec["bound"] == float("inf")
+        assert rec["measured"] != rec["measured"]  # NaN
+
+    def test_last_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_rec("aa", sound=False))
+        store.append(_rec("aa", sound=True))
+        assert store.load()["aa"]["sound"] is True
+
+    def test_keyless_record_rejected_on_write(self, tmp_path):
+        with pytest.raises(ValueError, match="key"):
+            ResultStore(tmp_path).append({"sound": True})
+
+
+class TestCorruption:
+    def test_corrupt_lines_quarantined_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_rec("aa"))
+        with store.results_path.open("a") as fh:
+            fh.write("{torn json!!\n")           # unparseable
+            fh.write('{"sound": true}\n')        # keyless
+        store.append(_rec("bb"))
+        records = store.load()
+        assert set(records) == {"aa", "bb"}
+        assert store.quarantined == 2
+        quarantined = store.quarantine_path.read_text().splitlines()
+        assert "{torn json!!" in quarantined
+        # The rewritten results file is clean: a second load sees no rot.
+        assert store.load() == records
+        assert store.quarantined == 0
+
+    def test_missing_store_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "fresh").load() == {}
+
+    def test_completed_keys_skips_error_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_rec("ok"))
+        store.append(_rec("boom", sound=False, error="Traceback ..."))
+        assert store.completed_keys() == {"ok"}
+
+
+class TestSummary:
+    def test_summary_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_rec("a", tightness=0.4))
+        store.append(_rec("b", sound=False, tightness=1.2))
+        store.append(_rec("c", sound=False, error="Traceback ...", tightness=0.0))
+        store.append(_rec("d", budget_ok=False, tightness=0.7))
+        summary = store.write_summary(extra={"campaign": "t"})
+        assert summary["cells"] == 4
+        assert summary["sound"] == 2
+        assert summary["unsound"] == 1          # error cells counted apart
+        assert summary["errors"] == 1
+        assert summary["budget_violations"] == 1
+        assert summary["max_tightness"] == pytest.approx(1.2)
+        assert summary["campaign"] == "t"
+        on_disk = json.loads(store.summary_path.read_text())
+        assert on_disk == summary
+
+
+class TestDiff:
+    def test_newly_unsound_cell_is_a_regression(self):
+        old = {"a": _rec("a"), "b": _rec("b")}
+        new = {"a": _rec("a"), "b": _rec("b", sound=False)}
+        diff = diff_records(old, new)
+        assert diff.regressions == ("b",)
+        assert not diff.clean
+        assert any("REGRESSION b" in ln for ln in diff.summary_lines())
+
+    def test_worker_error_is_a_regression_too(self):
+        diff = diff_records(
+            {"a": _rec("a")}, {"a": _rec("a", error="Traceback ...")}
+        )
+        assert diff.regressions == ("a",)
+
+    def test_fixes_added_removed(self):
+        old = {"a": _rec("a", sound=False), "gone": _rec("gone")}
+        new = {"a": _rec("a"), "fresh": _rec("fresh")}
+        diff = diff_records(old, new)
+        assert diff.fixes == ("a",)
+        assert diff.added == ("fresh",)
+        assert diff.removed == ("gone",)
+        assert diff.clean
+
+    def test_budget_regression_flagged(self):
+        diff = diff_records(
+            {"a": _rec("a")}, {"a": _rec("a", budget_ok=False)}
+        )
+        assert diff.budget_regressions == ("a",)
+        assert not diff.clean
+
+    def test_diff_stores_end_to_end(self, tmp_path):
+        old, new = ResultStore(tmp_path / "old"), ResultStore(tmp_path / "new")
+        old.append(_rec("a"))
+        new.append(_rec("a", sound=False))
+        diff = diff_stores(tmp_path / "old", tmp_path / "new")
+        assert diff.regressions == ("a",)

@@ -44,7 +44,7 @@ def test_smoke_slice_is_large_enough():
 def test_smoke_slice_covers_the_axes():
     """The tier-1 slice must exercise every axis, not just the default."""
     assert {sc.topology for sc in SMOKE} == {"host", "chain", "tree"}
-    assert {sc.backend for sc in SMOKE} == {"fluid", "des"}
+    assert {sc.backend for sc in SMOKE} == {"fluid", "des", "tree_des"}
     assert {sc.mode for sc in SMOKE} == {
         "sigma-rho", "sigma-rho-lambda", "adaptive"
     }
