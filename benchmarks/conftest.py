@@ -14,7 +14,14 @@ micro-benchmarks; kernel-level micro-benchmarks live in
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Machine-readable benchmark trajectory file, written at the repo root
+#: so successive PRs accumulate comparable first-class numbers.
+BENCH_PR3_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +31,32 @@ def artifact_report():
     yield chunks
     if chunks:
         print("\n" + "\n\n".join(chunks))
+
+
+@pytest.fixture(scope="session")
+def bench_pr3():
+    """Collects PR-3 perf metrics; merged into ``BENCH_pr3.json``.
+
+    Sections are merged (not replaced wholesale) so an opt-in
+    ``-m scenario`` run can add the thousand-cell campaign numbers to a
+    file produced by a default run.
+    """
+    data: dict = {}
+    yield data
+    if not data:
+        return
+    existing: dict = {}
+    if BENCH_PR3_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PR3_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(data)
+    existing["pr"] = 3
+    BENCH_PR3_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nBENCH_pr3.json updated: {sorted(data)}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -145,9 +145,12 @@ def _scenarios_main(argv: list[str]) -> int:
     from repro.runtime import (
         CampaignConfig,
         EXECUTOR_KINDS,
+        ResultStore,
+        backend_profile,
         build_campaign,
         diff_stores,
         make_executor,
+        outcome_record,
         run_campaign,
     )
     from repro.scenarios import (
@@ -196,6 +199,15 @@ def _scenarios_main(argv: list[str]) -> int:
     p_run.add_argument(
         "--no-corpus", action="store_true",
         help="skip the curated adversarial corpus",
+    )
+    p_run.add_argument(
+        "--no-cost-model", action="store_true",
+        help="disable cost-aware scheduling (uniform contiguous chunks)",
+    )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="print a per-backend cell-cost breakdown after the run "
+        "(from the store when given, else from this run's cells)",
     )
     p_run.add_argument(
         "--verbose", action="store_true",
@@ -270,6 +282,7 @@ def _scenarios_main(argv: list[str]) -> int:
         store=args.store,
         resume=args.resume,
         tick=tick,
+        cost_model=None if args.no_cost_model else "auto",
     )
     if args.verbose:
         rows = [
@@ -285,6 +298,22 @@ def _scenarios_main(argv: list[str]) -> int:
     print("== Scenario matrix summary ==")
     for line in campaign.summary_lines():
         print(line)
+    if args.profile:
+        if args.store:
+            records = list(ResultStore(args.store).load().values())
+        else:
+            records = [outcome_record(o) for o in campaign.report.outcomes]
+        rows = [
+            [r["backend"], r["cells"], r["wall_total"], r["wall_mean"],
+             r["wall_max"], f"{100.0 * r['share']:.1f}%"]
+            for r in backend_profile(records)
+        ]
+        print(render_table(
+            ["backend", "cells", "wall total [s]", "mean [s]", "max [s]",
+             "share"],
+            rows, title="== Per-backend cell cost (from store) =="
+            if args.store else "== Per-backend cell cost (this run) ==",
+        ))
     return 0 if campaign.clean else 1
 
 

@@ -39,6 +39,14 @@ tier-1 smoke slice to thousands of cells:
     soundness.  ``CampaignConfig`` is the JSON description behind the
     CLI's ``--campaign`` flag.
 
+``cost`` (:mod:`repro.runtime.cost`)
+    Cost-model-driven scheduling: ``CellCostModel`` predicts per-cell
+    wall-clock from the spec (refittable from any store's recorded
+    wall clocks), ``plan_chunks`` orders cells dearest-first into
+    cost-equalised, variance-shrunk executor chunks, and
+    ``backend_profile`` powers ``scenarios run --profile``.  Scheduling
+    only: outcomes are bit-identical with or without it.
+
 Usage::
 
     from repro.runtime import ProcessExecutor, ResultStore, run_campaign
@@ -66,6 +74,11 @@ from repro.runtime.campaign import (
     outcome_record,
     run_campaign,
 )
+from repro.runtime.cost import (
+    CellCostModel,
+    backend_profile,
+    plan_chunks,
+)
 from repro.runtime.executor import (
     EXECUTOR_KINDS,
     Executor,
@@ -88,6 +101,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "CampaignDiff",
+    "CellCostModel",
+    "backend_profile",
+    "plan_chunks",
     "EXECUTOR_KINDS",
     "Executor",
     "ProcessExecutor",

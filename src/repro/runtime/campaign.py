@@ -121,6 +121,14 @@ def outcome_record(outcome: ScenarioOutcome) -> dict:
         "perf_budget": float(sc.perf_budget),
         "budget_ok": bool(outcome.budget_ok),
         "tags": list(sc.tags),
+        # Cost-model features (spec side): together with ``wall_time``
+        # these let CellCostModel.fit re-derive per-backend cost
+        # coefficients from any real campaign store.
+        "backend": sc.backend,
+        "k": int(sc.k),
+        "tree_members": int(sc.tree_members),
+        "horizon": float(sc.horizon),
+        "dt": float(sc.dt),
     }
 
 
@@ -194,6 +202,7 @@ def run_campaign(
     resume: bool = False,
     progress: Optional[callable] = None,
     tick: Optional[callable] = None,
+    cost_model: Union[str, None, "CellCostModel"] = "auto",
 ) -> CampaignReport:
     """Evaluate ``scenarios`` with persistence and resume/skip.
 
@@ -205,7 +214,17 @@ def run_campaign(
     evaluated cell is appended to the store and ``summary.json`` is
     rewritten.  ``tick(done, total)`` (optional) streams live progress
     from the executor as chunks complete.
+
+    ``cost_model`` steers the parallel scheduler (dearest-first,
+    cost-equalised chunks): ``"auto"`` (default) uses the shipped
+    coefficients -- refitted from the store's recorded per-cell wall
+    clocks when resuming over existing records -- ``None`` disables
+    cost-aware scheduling, and an explicit
+    :class:`repro.runtime.cost.CellCostModel` is used as given.
+    Scheduling-only in every case: cell outcomes are bit-identical.
     """
+    from repro.runtime.cost import CellCostModel
+
     scenarios = list(scenarios)
     result_store: Optional[ResultStore] = None
     if store is not None:
@@ -218,12 +237,13 @@ def run_campaign(
     todo = scenarios
     skipped = skipped_violations = skipped_budget = 0
     quarantined = 0
+    stored_records: dict = {}
     if resume:
-        records = result_store.load()
+        stored_records = result_store.load()
         quarantined = result_store.quarantined
         todo = []
         for sc in scenarios:
-            rec = records.get(cell_key(sc))
+            rec = stored_records.get(cell_key(sc))
             if rec is None or rec.get("error"):
                 todo.append(sc)
                 continue
@@ -233,8 +253,23 @@ def run_campaign(
             if rec.get("budget_ok") is False:
                 skipped_budget += 1
 
+    if cost_model == "auto":
+        model = CellCostModel()
+        if stored_records:
+            # Real campaigns beat shipped coefficients: refit from the
+            # store's recorded per-cell wall clocks.
+            model = CellCostModel.fit(stored_records.values(), base=model)
+    else:
+        model = cost_model
+
     report = (
-        run_batch(todo, executor=executor, progress=progress, tick=tick)
+        run_batch(
+            todo,
+            executor=executor,
+            progress=progress,
+            tick=tick,
+            cost_model=model,
+        )
         if todo
         else _empty_report()
     )

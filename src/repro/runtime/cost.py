@@ -1,0 +1,258 @@
+"""Cost-model-driven campaign scheduling.
+
+The ROADMAP's scheduling open item: tree/DES cells are 10-100x dearer
+than fluid host cells, so uniform contiguous chunking (PR 2) leaves the
+long tail of a campaign serialised behind whichever worker drew the
+expensive chunk.  This module closes that gap:
+
+:class:`CellCostModel`
+    Predicts one cell's wall-clock seconds from its spec alone --
+    ``(backend, members/K, hops, horizon, dt)`` -- as
+    ``coefficient[backend] * workload(spec)``, where ``workload`` is
+    the backend's natural size measure (grid points for the fluid
+    engine, expected packet-events for the DES backends).  Default
+    coefficients ship from measured campaigns;
+    :meth:`CellCostModel.fit` re-derives them from any result store's
+    recorded per-cell ``wall_time`` (every campaign run appends the
+    features needed, so the model is refittable from real data).
+
+:func:`plan_chunks`
+    Turns per-cell cost estimates into an executor chunk plan:
+    dearest-first ordering (expensive cells start immediately, cheap
+    cells backfill), chunk boundaries that equalise *cost* rather than
+    count, and deliberately smaller chunks for high-variance backends
+    (a mispredicted DES cell strands at most a sliver of work, so idle
+    workers steal the tail naturally).
+
+The plan changes **scheduling only**: results are returned in payload
+order and every cell's RNG stream is spec-derived, so a cost-scheduled
+campaign is bit-identical to a naively chunked one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_COEFFICIENTS",
+    "BACKEND_VARIANCE",
+    "CellCostModel",
+    "plan_chunks",
+    "backend_profile",
+]
+
+#: Seconds per unit of backend workload (see ``workload``), measured on
+#: the reference container over the PR-3 benchmark campaigns.  Absolute
+#: scale only matters relative to other backends -- scheduling uses
+#: cost *ratios* -- so stale coefficients degrade gracefully.
+DEFAULT_COEFFICIENTS: dict[str, float] = {
+    "fluid": 3.0e-8,          # per grid point x flow x hop
+    "des": 4.0e-6,            # per expected packet x flow x hop
+    "des_legacy": 1.2e-5,
+    "tree_des": 6.0e-6,       # per expected packet x flow x member
+    "tree_des_legacy": 1.0e-5,
+}
+
+#: Relative cost-prediction variance per backend family.  DES cells'
+#: realised packet counts (and the vacation fit's fluid fallback) swing
+#: far more than the fluid grid size, so their chunks shrink.
+BACKEND_VARIANCE: dict[str, float] = {
+    "fluid": 0.15,
+    "des": 0.8,
+    "des_legacy": 0.8,
+    "tree_des": 1.0,
+    "tree_des_legacy": 1.0,
+}
+
+#: Fallbacks for unknown backends (forward compatibility).
+_DEFAULT_COEFF = 1.0e-5
+_DEFAULT_VARIANCE = 1.0
+
+#: Nominal packets-per-second-of-horizon per unit rate at the default
+#: MTU (1 / DEFAULT_MTU); only the relative scale matters.
+_PACKETS_PER_SEC = 500.0
+
+
+def _spec_features(spec: Any) -> tuple[str, float]:
+    """``(backend, workload)`` for one scenario spec.
+
+    Accepts :class:`~repro.scenarios.spec.Scenario` instances or
+    mapping-shaped records (store rows); unknown fields default
+    conservatively.
+    """
+    get = (
+        spec.get
+        if isinstance(spec, Mapping)
+        else lambda name, default=None: getattr(spec, name, default)
+    )
+    backend = str(get("backend", get("eff_backend", "fluid")))
+    horizon = float(get("horizon", 2.0) or 2.0)
+    k = float(get("k", 0) or len(get("kinds", ()) or ()) or 2)
+    hops = float(get("hops", 1) or 1)
+    members = float(get("tree_members", 0) or 0)
+    dt = float(get("dt", 2e-3) or 2e-3)
+    if members > 0:
+        # Tree specs carry hops=1; the realised critical path is about
+        # the DSCT height (Lemma 2) -- use it as the hop estimate.
+        hops = max(hops, float(np.log2(max(members, 2.0))) + 1.0)
+    if backend == "fluid":
+        # Grid points x flows x hops: the vectorised kernels are O(n)
+        # in the (horizon + drain margin) / dt grid.
+        return backend, (3.0 * horizon / dt) * k * hops
+    packets = horizon * _PACKETS_PER_SEC * k
+    if backend.startswith("tree_des"):
+        # Every member runs the full pipeline for all K flows.
+        return backend, packets * max(members, 4.0)
+    return backend, packets * hops
+
+
+@dataclass(frozen=True)
+class CellCostModel:
+    """Per-backend linear cost model ``cost = coeff[backend] * workload``."""
+
+    coefficients: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_COEFFICIENTS)
+    )
+    variance: Mapping[str, float] = field(
+        default_factory=lambda: dict(BACKEND_VARIANCE)
+    )
+
+    def estimate(self, spec: Any) -> float:
+        """Predicted wall-clock seconds for one cell."""
+        backend, workload = _spec_features(spec)
+        return self.coefficients.get(backend, _DEFAULT_COEFF) * workload
+
+    def estimate_many(self, specs: Sequence[Any]) -> np.ndarray:
+        return np.array([self.estimate(sc) for sc in specs], dtype=np.float64)
+
+    def relative_variance(self, spec: Any) -> float:
+        backend, _ = _spec_features(spec)
+        return self.variance.get(backend, _DEFAULT_VARIANCE)
+
+    @classmethod
+    def fit(
+        cls,
+        records: Iterable[Mapping[str, Any]],
+        *,
+        base: Optional["CellCostModel"] = None,
+    ) -> "CellCostModel":
+        """Refit coefficients from store records (recorded wall clocks).
+
+        Every campaign record carries ``wall_time`` plus the feature
+        fields (``backend``/``eff_backend``, ``k``, ``hops``,
+        ``tree_members``, ``horizon``, ``dt``), so the model can be
+        re-derived from any real campaign.  Per backend the coefficient
+        is the median of ``wall_time / workload`` -- robust to the odd
+        cold-start or GC outlier -- and backends absent from the data
+        keep their prior coefficient.
+        """
+        prior = base if base is not None else cls()
+        samples: dict[str, list[float]] = {}
+        for rec in records:
+            wall = rec.get("wall_time") if isinstance(rec, Mapping) else None
+            if not wall or wall <= 0:
+                continue
+            backend, workload = _spec_features(rec)
+            if workload <= 0:
+                continue
+            samples.setdefault(backend, []).append(float(wall) / workload)
+        coeffs = dict(prior.coefficients)
+        for backend, ratios in samples.items():
+            coeffs[backend] = float(np.median(ratios))
+        return cls(coefficients=coeffs, variance=dict(prior.variance))
+
+
+def plan_chunks(
+    costs: Sequence[float],
+    jobs: int,
+    *,
+    variances: Optional[Sequence[float]] = None,
+    chunks_per_worker: int = 4,
+    max_chunk: int = 16,
+) -> list[list[int]]:
+    """Cost-aware executor chunk plan over payload indices.
+
+    Orders cells dearest-first, then cuts chunks that target an equal
+    *cost* share (``total / (jobs * chunks_per_worker)``) instead of an
+    equal count.  A chunk's size is additionally capped by the inverse
+    of its cells' predicted cost variance: high-variance (DES) cells
+    travel in chunks of one or two, so a misprediction strands at most
+    one cell's tail and idle workers steal the rest naturally.
+
+    Every index appears in exactly one chunk; an empty ``costs`` yields
+    an empty plan.  Scheduling-only: the executor still returns results
+    in payload order.
+    """
+    n = len(costs)
+    if n == 0:
+        return []
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    if np.any(costs_arr < 0):
+        raise ValueError("costs must be >= 0")
+    if variances is None:
+        var_arr = np.zeros(n)
+    else:
+        if len(variances) != n:
+            raise ValueError("one variance per cost is required")
+        var_arr = np.asarray(variances, dtype=np.float64)
+    order = np.argsort(-costs_arr, kind="stable")
+    target = float(costs_arr.sum()) / max(1, jobs * chunks_per_worker)
+    if target <= 0.0:
+        target = float("inf")  # all-zero costs: fall back to count caps
+    plan: list[list[int]] = []
+    chunk: list[int] = []
+    chunk_cost = 0.0
+    chunk_cap = max_chunk
+    for idx in order:
+        i = int(idx)
+        # High-variance cells shrink the cap for the chunk they join.
+        cap = max(1, int(round(max_chunk / (1.0 + 4.0 * float(var_arr[i])))))
+        chunk_cap = min(chunk_cap, cap)
+        chunk.append(i)
+        chunk_cost += float(costs_arr[i])
+        if chunk_cost >= target or len(chunk) >= chunk_cap:
+            plan.append(chunk)
+            chunk, chunk_cost, chunk_cap = [], 0.0, max_chunk
+    if chunk:
+        plan.append(chunk)
+    return plan
+
+
+def backend_profile(
+    records: Iterable[Mapping[str, Any]]
+) -> list[dict[str, Any]]:
+    """Per-backend cell-cost breakdown from store records.
+
+    Returns one row per effective backend, sorted by total wall time
+    descending: cell count, total/mean/max wall seconds, and share of
+    the campaign's total -- the data behind ``scenarios run --profile``.
+    """
+    groups: dict[str, list[float]] = {}
+    for rec in records:
+        if not isinstance(rec, Mapping):
+            continue
+        backend = str(rec.get("eff_backend") or rec.get("backend") or "?")
+        wall = rec.get("wall_time")
+        if isinstance(wall, (int, float)) and wall >= 0:
+            groups.setdefault(backend, []).append(float(wall))
+    total = sum(sum(v) for v in groups.values())
+    rows = []
+    for backend, walls in groups.items():
+        sub = sum(walls)
+        rows.append(
+            {
+                "backend": backend,
+                "cells": len(walls),
+                "wall_total": sub,
+                "wall_mean": sub / len(walls),
+                "wall_max": max(walls),
+                "share": sub / total if total > 0 else 0.0,
+            }
+        )
+    rows.sort(key=lambda r: -r["wall_total"])
+    return rows

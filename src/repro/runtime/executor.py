@@ -77,6 +77,24 @@ def auto_chunksize(n_tasks: int, jobs: int) -> int:
     return max(1, min(MAX_AUTO_CHUNK, per_worker))
 
 
+def _check_plan(chunk_plan: Sequence[Sequence[int]], n: int) -> None:
+    """A chunk plan must cover every payload index exactly once."""
+    seen: set[int] = set()
+    count = 0
+    for chunk in chunk_plan:
+        for i in chunk:
+            i = int(i)
+            if not 0 <= i < n:
+                raise ValueError(f"chunk plan index {i} out of range [0, {n})")
+            seen.add(i)
+            count += 1
+    if count != n or len(seen) != n:
+        raise ValueError(
+            f"chunk plan must cover all {n} payloads exactly once "
+            f"(got {count} entries, {len(seen)} distinct)"
+        )
+
+
 def _run_one(fn: Callable[[Any], Any], index: int, payload: Any) -> TaskResult:
     """Worker-side unit of execution with exception capture."""
     t0 = time.perf_counter()
@@ -115,11 +133,16 @@ class Executor(ABC):
         payloads: Sequence[Any],
         *,
         progress: Optional[Callable[[int, int], None]] = None,
+        chunk_plan: Optional[Sequence[Sequence[int]]] = None,
     ) -> list[TaskResult]:
         """Evaluate ``fn`` over ``payloads``; results in payload order.
 
         ``progress`` (optional) is called as ``progress(done, total)``
-        whenever the completed-task count advances.
+        whenever the completed-task count advances.  ``chunk_plan``
+        (optional, pool backends) prescribes the submission chunks as
+        payload-index lists -- the cost-aware scheduler's hook (see
+        :func:`repro.runtime.cost.plan_chunks`).  Every index must
+        appear exactly once; results stay in payload order regardless.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -127,11 +150,18 @@ class Executor(ABC):
 
 
 class SerialExecutor(Executor):
-    """The in-process reference backend."""
+    """The in-process reference backend.
+
+    A ``chunk_plan`` is validated but otherwise ignored: serial
+    execution has no dispatch skew to schedule around, and running in
+    payload order keeps the reference semantics trivially ordered.
+    """
 
     kind = "serial"
 
-    def map_tasks(self, fn, payloads, *, progress=None):
+    def map_tasks(self, fn, payloads, *, progress=None, chunk_plan=None):
+        if chunk_plan is not None:
+            _check_plan(chunk_plan, len(payloads))
         results = []
         for i, payload in enumerate(payloads):
             results.append(_run_one(fn, i, payload))
@@ -154,15 +184,23 @@ class _PoolExecutor(Executor):
     def _make_pool(self) -> _FuturesExecutor:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def map_tasks(self, fn, payloads, *, progress=None):
+    def map_tasks(self, fn, payloads, *, progress=None, chunk_plan=None):
         n = len(payloads)
         if n == 0:
             return []
-        size = self.chunksize or auto_chunksize(n, self.jobs)
-        chunks = [
-            [(i, payloads[i]) for i in range(lo, min(lo + size, n))]
-            for lo in range(0, n, size)
-        ]
+        if chunk_plan is not None:
+            _check_plan(chunk_plan, n)
+            chunks = [
+                [(int(i), payloads[int(i)]) for i in chunk]
+                for chunk in chunk_plan
+                if len(chunk)
+            ]
+        else:
+            size = self.chunksize or auto_chunksize(n, self.jobs)
+            chunks = [
+                [(i, payloads[i]) for i in range(lo, min(lo + size, n))]
+                for lo in range(0, n, size)
+            ]
         results: dict[int, TaskResult] = {}
         done = 0
         with self._make_pool() as pool:

@@ -371,7 +371,7 @@ def _realise(sc: Scenario) -> _Realised:
     envelopes = sc.realise_envelopes(raw)
     eff_mode = sc.effective_mode(envelopes)
     backend, mtu, extra_eps = sc.backend, DEFAULT_MTU, 0.0
-    if backend == "des" and eff_mode == "sigma-rho-lambda":
+    if backend in ("des", "des_legacy") and eff_mode == "sigma-rho-lambda":
         fit = _des_lambda_fit(sc, envelopes)
         if fit is None:
             backend = "fluid"
@@ -380,7 +380,7 @@ def _realise(sc: Scenario) -> _Realised:
     traces = [tr.fragment(mtu) for tr in raw]
     tree_ctx = None
     if sc.topology == "tree":
-        if backend == "tree_des":
+        if backend in ("tree_des", "tree_des_legacy"):
             hops, prop, height_ok, tree_ctx = _resolve_tree_full(sc)
         else:
             hops, prop, height_ok = _resolve_tree(sc)
@@ -400,7 +400,10 @@ def _realise(sc: Scenario) -> _Realised:
 def _simulate(r: _Realised) -> tuple[float, int, int]:
     """Run one realised scenario; returns (measured, events, cancelled)."""
     sc = r.scenario
-    if r.eff_backend == "tree_des":
+    # The *_legacy backends run the identical cell on the per-packet
+    # legacy DES engine (the equivalence suite's reference).
+    engine = "legacy" if r.eff_backend.endswith("_legacy") else "batched"
+    if r.eff_backend in ("tree_des", "tree_des_legacy"):
         tree, latency = r.tree_ctx
         res = simulate_multicast_tree(
             [tree],
@@ -411,6 +414,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
             mode=r.eff_mode,
             capacity=sc.capacity,
             discipline=sc.discipline,
+            engine=engine,
         )
         return res.worst_case_delay, res.events, 0
     if sc.topology == "host":
@@ -432,6 +436,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
             capacity=sc.capacity,
             discipline=sc.discipline,
             stagger_phase=sc.stagger_phase,
+            engine=engine,
         )
         return res.worst_case_delay, res.events, res.cancelled_events
     tagged, cross = r.traces[0], list(r.traces[1:])
@@ -458,15 +463,21 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
         discipline=sc.discipline,
         stagger_phase=sc.stagger_phase,
         propagation=list(r.propagation),
+        engine=engine,
     )
     return des.worst_case_delay, des.events, des.cancelled_events
 
 
 def _quant_eps(r: _Realised) -> float:
-    """Backend quantisation slack, already scaled by hop count."""
+    """Backend quantisation slack, already scaled by hop count.
+
+    The legacy backends charge the same eps as their batched
+    counterparts -- the engines are delay-equivalent, so the verdict
+    thresholds must not differ between them.
+    """
     if r.eff_backend == "fluid":
         return FLUID_GRID_FACTOR * r.scenario.dt * r.hops
-    if r.eff_backend == "tree_des":
+    if r.eff_backend in ("tree_des", "tree_des_legacy"):
         return DES_MTU_FACTOR * r.mtu * r.hops
     return (DES_MTU_FACTOR * r.mtu + r.extra_eps) * r.hops
 
@@ -592,6 +603,7 @@ def run_batch(
     executor: Optional[Executor] = None,
     progress: Optional[callable] = None,
     tick: Optional[callable] = None,
+    cost_model=None,
 ) -> BatchReport:
     """Evaluate a scenario matrix: parallel cells, vectorised bounds.
 
@@ -601,13 +613,31 @@ def run_batch(
     ``tick(done, total)`` while cells are in flight (per completed
     chunk); ``progress`` (optional) is called as
     ``progress(i, n, outcome)`` per finalised cell afterwards.
+
+    ``cost_model`` (a :class:`repro.runtime.cost.CellCostModel`,
+    optional) enables cost-aware scheduling on parallel executors:
+    dearest-first submission in cost-equalised, variance-shrunk chunks
+    (:func:`repro.runtime.cost.plan_chunks`).  Scheduling-only -- the
+    outcomes are bit-identical with or without it.
     """
     if not scenarios:
         raise ValueError("at least one scenario is required")
     scenarios = list(scenarios)
     t0 = time.perf_counter()
     ex = executor if executor is not None else SerialExecutor()
-    tasks = ex.map_tasks(evaluate_cell, scenarios, progress=tick)
+    plan = None
+    if cost_model is not None and getattr(ex, "jobs", 1) > 1:
+        from repro.runtime.cost import plan_chunks
+
+        costs = cost_model.estimate_many(scenarios)
+        plan = plan_chunks(
+            costs,
+            ex.jobs,
+            variances=[cost_model.relative_variance(sc) for sc in scenarios],
+        )
+    tasks = ex.map_tasks(
+        evaluate_cell, scenarios, progress=tick, chunk_plan=plan
+    )
     return finalise_batch(
         scenarios, tasks, time.perf_counter() - t0, progress=progress
     )

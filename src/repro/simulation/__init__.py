@@ -14,8 +14,20 @@ same regulator/MUX semantics (see DESIGN.md, substitution table):
 
 Both backends consume the same :class:`~repro.simulation.flow.PacketTrace`
 inputs, so any scenario can be run on either and compared.
+
+The DES ships two component engines: the **batched** engine
+(:mod:`repro.simulation.batched`: window-batched vacation service,
+commit-on-receive MUX drains, and an event-free array fast path for the
+primed vacation host -- the default) and the **legacy** per-packet
+event chain (kept addressable as ``engine="legacy"`` /
+``backend="des_legacy"`` for the equivalence suite).
 """
 
+from repro.simulation.batched import (
+    BatchMuxServer,
+    BatchVacationComponent,
+    vacation_departures,
+)
 from repro.simulation.chain import ChainResult, simulate_regulated_chain
 from repro.simulation.engine import Simulator
 from repro.simulation.flow import (
@@ -55,6 +67,9 @@ __all__ = [
     "PoissonSource",
     "TokenBucketComponent",
     "VacationComponent",
+    "BatchVacationComponent",
+    "BatchMuxServer",
+    "vacation_departures",
     "MuxServer",
     "DelayRecorder",
     "DelayStats",

@@ -1,0 +1,588 @@
+"""Window-batched DES components: the engine-hot-path overhaul.
+
+The legacy components (:mod:`repro.simulation.regulator_sim`,
+:mod:`repro.simulation.mux_sim`) drive one callback chain per packet:
+``receive -> schedule finish -> finish -> try-start-next``, with wakeup
+cancel/reschedule churn on top.  For the expensive cells -- vacation
+regulators and whole-tree runs -- almost all of that per-packet event
+traffic is redundant, because the service inside a vacation window (and
+a constant-rate MUX drain between arrival epochs) is a *closed-form
+drain*: once the head of the queue starts transmitting, every
+subsequent departure in the same busy train is determined by a
+cumulative sum of serialisation times, and the non-preemptive fit check
+is a cumulative-sum threshold against the window end.
+
+This module exploits exactly that structure, at three levels:
+
+:func:`vacation_departures`
+    The pure kernel: departure times of a *fully known* arrival train
+    through a (sigma, rho, lambda) vacation regulator, computed one
+    busy train at a time with ``np.add.accumulate`` -- the float
+    operations are sequenced identically to the legacy per-packet
+    event chain, so the results are bit-identical to running the
+    legacy :class:`~repro.simulation.regulator_sim.VacationComponent`.
+
+:class:`BatchVacationComponent` / :class:`BatchMuxServer`
+    Drop-in evented components for pipelines whose arrivals are *not*
+    known in advance (chain hops, whole trees).  The vacation component
+    commits a whole window's worth of service per wakeup (one
+    continuation event per busy train instead of one finish event per
+    packet); the MUX commits each packet's departure at arrival time
+    (the constant-rate drain is a running ``busy_until`` float, no
+    internal heap, no per-packet finish/start-next events) and, under
+    the adversarial discipline, delivers each busy period with a single
+    lazily-rescheduled release event.
+
+:func:`primed_vacation_host`
+    The array fast path for the single-host vacation cell (the dearest
+    scenario family): all flows' traces are known up front, so the
+    entire cell -- regulators, adversarial MUX, delay recording --
+    collapses into NumPy passes over merged departure arrays with *no
+    per-packet events at all*.  Used by
+    :func:`repro.simulation.host_sim.simulate_regulated_host` when the
+    batched engine meets ``mode="sigma-rho-lambda"`` and
+    ``discipline="adversarial"``.
+
+Equivalence contract: for every supported configuration the batched
+components must reproduce the legacy components' measured delays
+bit-for-bit (the float arithmetic is sequenced identically; only event
+*counts* differ).  ``tests/test_des_batched_equivalence.py`` enforces
+this over the curated corpus and hypothesis-generated traces; the
+legacy path stays addressable as ``backend="des_legacy"`` /
+``engine="legacy"`` precisely so that suite keeps both implementations
+honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.regulator import SigmaRhoLambdaRegulator
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "vacation_departures",
+    "BatchVacationComponent",
+    "BatchMuxServer",
+    "primed_vacation_host",
+    "PrimedHostOutcome",
+]
+
+#: Window-boundary tolerance -- identical to the legacy component's
+#: ``VacationComponent._TOL`` (the two implementations must agree on
+#: every boundary decision to stay bit-identical).
+_TOL = 1e-12
+#: Fit-check slack, identical to the legacy ``_try_start`` comparison.
+_FIT_EPS = 1e-15
+
+_OVERSIZE_MSG = (
+    "packet serialisation time exceeds the working period; "
+    "decrease packet sizes or increase sigma"
+)
+
+
+# ----------------------------------------------------------------------
+# Window arithmetic (kept formula-identical to the legacy component)
+# ----------------------------------------------------------------------
+def _window_index(t: float, offset: float, period: float) -> int:
+    """Index of the cycle containing ``t`` (-1 before the first)."""
+    if t < offset - _TOL:
+        return -1
+    return int((t - offset) // period)
+
+
+def _service_step(
+    t: float, tx_head: float, working: float, period: float, offset: float
+) -> tuple[str, float]:
+    """One legacy ``_try_start`` decision for a head packet at time ``t``.
+
+    Returns ``("serve", window_end)`` when the head may start now
+    (non-preemptive fit check), else ``("wake", wake_time)`` with the
+    legacy wake instant (including the ``max(start, now + TOL)``
+    nudge).  Both the evented component and the primed kernel route
+    every tolerance-critical boundary decision through this single
+    helper so the two paths cannot drift.
+    """
+    m = _window_index(t, offset, period)
+    window_end = None
+    if m >= 0:
+        start = offset + m * period
+        end = start + working
+        if start - _TOL <= t < end - _TOL:
+            window_end = end
+    if window_end is not None and t + tx_head <= window_end + _FIT_EPS:
+        return "serve", window_end
+    if tx_head > working + _FIT_EPS:
+        raise ValueError(_OVERSIZE_MSG)
+    if window_end is None:
+        if m < 0:
+            nxt = offset
+        else:
+            start = offset + m * period
+            if t < start + working - _TOL:
+                nxt = t if t > start else start
+            else:
+                nxt = offset + (m + 1) * period
+    else:
+        # Inside a window the head does not fit into: next cycle.
+        nxt = offset + (m + 1) * period
+    # The legacy wake never lands at (or before) the current instant --
+    # float noise there would spin the event loop.
+    return "wake", (nxt if nxt > t + _TOL else t + _TOL)
+
+
+def _service_base(
+    t: float, tx_head: float, working: float, period: float, offset: float
+) -> tuple[float, float]:
+    """First instant >= ``t`` at which a head packet of serialisation
+    time ``tx_head`` may start, plus the end of the window it starts
+    in: the legacy ``_try_start`` / ``_wake_up`` loop without events.
+    """
+    for _ in range(64):
+        action, value = _service_step(t, tx_head, working, period, offset)
+        if action == "serve":
+            return t, value
+        t = value
+    raise RuntimeError(
+        "vacation window search did not converge; degenerate schedule?"
+    )  # pragma: no cover - guarded by the oversize check
+
+
+# ----------------------------------------------------------------------
+# The pure kernel
+# ----------------------------------------------------------------------
+def vacation_departures(
+    times: np.ndarray,
+    sizes: np.ndarray,
+    regulator: SigmaRhoLambdaRegulator,
+    *,
+    offset: float = 0.0,
+    out_rate: float = 1.0,
+) -> tuple[np.ndarray, int]:
+    """Departure times of a known arrival train through a vacation regulator.
+
+    Parameters
+    ----------
+    times, sizes:
+        Non-decreasing arrival times and packet sizes (capacity-seconds).
+    regulator:
+        Window schedule source (working period / cycle period).
+    offset, out_rate:
+        Phase offset of the window cycle and in-window forwarding rate.
+
+    Returns
+    -------
+    (departures, trains):
+        Per-packet departure times, plus the number of busy trains
+        processed (the batched path's event-count analogue: the legacy
+        component pays one finish event per *packet*, this kernel one
+        pass per *train*).
+
+    The float arithmetic reproduces the legacy component exactly: each
+    busy train's finish times are ``np.add.accumulate`` over
+    ``[base, tx_0, tx_1, ...]`` -- the same left-to-right additions the
+    per-packet ``schedule_in`` chain performs -- and every window
+    boundary decision uses the legacy tolerances.
+    """
+    times = np.ascontiguousarray(times, dtype=np.float64)
+    sizes = np.ascontiguousarray(sizes, dtype=np.float64)
+    n = times.size
+    deps = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return deps, 0
+    check_positive(out_rate, "out_rate")
+    check_non_negative(offset, "offset")
+    tx = sizes / out_rate
+    working = float(regulator.working_period)
+    period = float(regulator.regulator_period)
+    if float(tx.max()) > working + _FIT_EPS:
+        raise ValueError(_OVERSIZE_MSG)
+    # Monotone cumulative work, used only to bound candidate train
+    # lengths (an estimate -- under-estimates merely split a train into
+    # two back-to-back passes with identical results).
+    cum = np.concatenate(([0.0], np.cumsum(tx)))
+    i = 0
+    last_fin = -np.inf
+    trains = 0
+    while i < n:
+        t = times[i] if times[i] > last_fin else last_fin
+        base, end = _service_base(t, tx[i], working, period, offset)
+        hi = int(np.searchsorted(cum, cum[i] + (end - base) + 1e-9, side="right"))
+        hi = min(max(hi, i + 1), n)
+        seg = np.empty(hi - i + 1, dtype=np.float64)
+        seg[0] = base
+        seg[1:] = tx[i:hi]
+        fin = np.add.accumulate(seg)[1:]
+        if hi > i + 1:
+            # Non-preemptive continuation, exactly the legacy per-packet
+            # checks: the server must still be inside the window when
+            # the previous packet finishes (window_at), the next packet
+            # must have arrived by then (queue non-empty; equal-time
+            # arrivals precede the finish event), and it must fit.
+            ok = (
+                (times[i + 1 : hi] <= fin[:-1])
+                & (fin[:-1] < end - _TOL)
+                & (fin[1:] <= end + _FIT_EPS)
+            )
+            k = (hi - i) if bool(ok.all()) else 1 + int(np.argmin(ok))
+        else:
+            k = 1
+        deps[i : i + k] = fin[:k]
+        last_fin = float(fin[k - 1])
+        i += k
+        trains += 1
+    return deps, trains
+
+
+# ----------------------------------------------------------------------
+# Evented batched components
+# ----------------------------------------------------------------------
+class BatchVacationComponent:
+    """(sigma, rho, lambda) vacation regulator with window-batched service.
+
+    Semantics are identical to the legacy
+    :class:`~repro.simulation.regulator_sim.VacationComponent`; the
+    difference is purely mechanical: when service starts, the whole
+    backlog that fits into the current window is committed in one
+    cumulative-sum pass -- one delivery event per packet plus a single
+    train-end continuation event, instead of a finish/try-start
+    callback pair per packet -- and the wakeup logic never reschedules
+    an already-correct wake (no cancel churn on bursts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        regulator: SigmaRhoLambdaRegulator,
+        sink,
+        *,
+        offset: float = 0.0,
+        out_rate: float = 1.0,
+    ):
+        self.sim = sim
+        self.regulator = regulator
+        self.sink = sink
+        self.offset = check_non_negative(offset, "offset")
+        self.out_rate = check_positive(out_rate, "out_rate")
+        self._queue: deque[Packet] = deque()
+        #: A committed busy train is in flight (deliveries scheduled).
+        self._committed = False
+        self._wake = None
+
+    # -- inspection (parity with the legacy component) -------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog(self) -> float:
+        return sum(p.size for p in self._queue)
+
+    # -- component interface ----------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        self._queue.append(packet)
+        if not self._committed:
+            self._try_start()
+
+    def _try_start(self) -> None:
+        """Commit the longest head train the current window admits."""
+        if self._committed or not self._queue:
+            return
+        sim = self.sim
+        now = sim.now
+        head_tx = self._queue[0].size / self.out_rate
+        action, value = _service_step(
+            now,
+            head_tx,
+            self.regulator.working_period,
+            self.regulator.regulator_period,
+            self.offset,
+        )
+        if action == "serve":
+            self._commit_train(now, value)
+            return
+        start = value
+        if self._wake is None or self._wake.cancelled or self._wake.time > start:
+            if self._wake is not None:
+                self._wake.cancel()
+            self._wake = sim.schedule(start, self._wake_up)
+
+    def _wake_up(self) -> None:
+        self._wake = None
+        self._try_start()
+
+    def _commit_train(self, base: float, end: float) -> None:
+        """Serve every queued packet that fits after ``base``; one pass."""
+        queue = self._queue
+        if len(queue) == 1:
+            # Scalar fast path: short queues dominate at low load.
+            pkt = queue.popleft()
+            fin = base + pkt.size / self.out_rate
+            self._committed = True
+            self.sim.schedule(fin, self._finish_train, pkt)
+            return
+        pkts = list(queue)
+        tx = np.array([p.size for p in pkts], dtype=np.float64) / self.out_rate
+        seg = np.empty(tx.size + 1, dtype=np.float64)
+        seg[0] = base
+        seg[1:] = tx
+        fin = np.add.accumulate(seg)[1:]
+        ok = (fin[:-1] < end - _TOL) & (fin[1:] <= end + _FIT_EPS)
+        k = tx.size if bool(ok.all()) else 1 + int(np.argmin(ok))
+        for _ in range(k):
+            queue.popleft()
+        self._committed = True
+        sim = self.sim
+        if k > 1:
+            sim.schedule_batch(
+                fin[: k - 1], self.sink.receive, ((p,) for p in pkts[: k - 1])
+            )
+        sim.schedule(float(fin[k - 1]), self._finish_train, pkts[k - 1])
+
+    def _finish_train(self, last_pkt: Packet) -> None:
+        """Deliver the train's last packet, then look for more work.
+
+        Mirrors the legacy ``_finish_tx``: the delivery happens before
+        the next service decision, at the same timestamp.
+        """
+        self._committed = False
+        self.sink.receive(last_pkt)
+        self._try_start()
+
+
+class BatchMuxServer:
+    """Work-conserving MUX with commit-on-receive constant-rate drains.
+
+    Supports the ``"fifo"`` and ``"adversarial"`` disciplines of the
+    legacy :class:`~repro.simulation.mux_sim.MuxServer` (for
+    ``"priority"`` the builders keep the legacy component -- a strict
+    priority order cannot be committed ahead of future arrivals).
+
+    FIFO service order equals arrival order, so each packet's departure
+    is fixed the instant it arrives: ``dep = max(now, busy_until) +
+    size/C`` -- a running float instead of an internal heap, and one
+    delivery event per packet instead of a finish/start-next pair.
+
+    The adversarial discipline (deliver at the end of the busy period;
+    the general-MUX worst case the paper bounds) needs no per-packet
+    events at all: packets are held, and a single *release check* event
+    lazily chases the end of the busy period (rescheduling itself only
+    when arrivals extended the period past its horizon -- typically one
+    or two events per busy period, never more than one per packet).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        sink,
+        *,
+        discipline: str = "fifo",
+        priorities: Optional[Mapping[int, int]] = None,
+    ):
+        if discipline not in ("fifo", "adversarial"):
+            raise ValueError(
+                f"BatchMuxServer supports 'fifo'/'adversarial', got {discipline!r}"
+                " (use the legacy MuxServer for 'priority')"
+            )
+        self.sim = sim
+        self.capacity = check_positive(capacity, "capacity")
+        self.sink = sink
+        self.discipline = discipline
+        # Kept for interface parity (chain builders assign priorities
+        # unconditionally); unused by these disciplines.
+        self.priorities = dict(priorities or {})
+        self._busy_until = -np.inf
+        self._held: list[Packet] = []
+        self._check = None
+        self.served_count = 0
+        self.served_data = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Committed-but-undelivered packets (adversarial hold depth)."""
+        return len(self._held)
+
+    @property
+    def backlog(self) -> float:
+        return sum(p.size for p in self._held)
+
+    # -- component interface ----------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        now = self.sim.now
+        bu = self._busy_until
+        start = now if now > bu else bu
+        dep = start + packet.size / self.capacity
+        self._busy_until = dep
+        if self.discipline == "adversarial":
+            self._held.append(packet)
+            if self._check is None:
+                # priority=-1: the release decision precedes equal-time
+                # arrivals, matching the legacy finish-before-delivery
+                # event order (an arrival at exactly the completion
+                # instant opens a fresh busy period).
+                self._check = self.sim.schedule(
+                    dep, self._release_check, priority=-1
+                )
+        else:
+            self.sim.schedule(dep, self._route, packet)
+
+    def _release_check(self) -> None:
+        if self.sim.now < self._busy_until:
+            # Arrivals extended the busy period past this check's
+            # horizon: chase the new end (no cancellation residue).
+            self._check = self.sim.schedule(
+                self._busy_until, self._release_check, priority=-1
+            )
+            return
+        self._check = None
+        held, self._held = self._held, []
+        for pkt in held:
+            self._route(pkt)
+
+    def _route(self, pkt: Packet) -> None:
+        # Served accounting happens here -- at delivery, not arrival --
+        # so FIFO counters match the legacy completion-time counting
+        # under horizon truncation (adversarial counts lag until the
+        # busy period's release, equal once drained).
+        self.served_count += 1
+        self.served_data += pkt.size
+        sink = self.sink
+        if isinstance(sink, Mapping):
+            target = sink.get(pkt.flow_id)
+            if target is not None:
+                target.receive(pkt)
+            return
+        sink.receive(pkt)
+
+
+# ----------------------------------------------------------------------
+# The primed single-host fast path
+# ----------------------------------------------------------------------
+class PrimedHostOutcome:
+    """Raw product of :func:`primed_vacation_host` (arrays, no Packets)."""
+
+    __slots__ = ("per_flow_delays", "trains", "busy_periods")
+
+    def __init__(
+        self,
+        per_flow_delays: list[np.ndarray],
+        trains: int,
+        busy_periods: int,
+    ):
+        self.per_flow_delays = per_flow_delays
+        self.trains = trains
+        self.busy_periods = busy_periods
+
+    @property
+    def batch_events(self) -> int:
+        """The batched path's event-count analogue: one pass per
+        vacation busy train plus one release per MUX busy period."""
+        return self.trains + self.busy_periods
+
+
+def primed_vacation_host(
+    traces: Sequence[tuple[np.ndarray, np.ndarray]],
+    regulators: Sequence[SigmaRhoLambdaRegulator],
+    offsets: Sequence[float],
+    *,
+    capacity: float = 1.0,
+    horizon: Optional[float] = None,
+    drain: bool = True,
+) -> PrimedHostOutcome:
+    """Array fast path for the staggered-vacation single host.
+
+    Every flow's full arrival trace is known up front, so the cell
+    needs no event loop at all: per-flow regulator departures come from
+    :func:`vacation_departures`, the adversarial general MUX is a
+    single merged pass (running ``busy_until`` float recurrence --
+    sequenced exactly like the legacy per-packet events -- then a
+    vectorised busy-period-end assignment), and per-flow delays are one
+    subtraction.  Delivery times equal the end of each packet's MUX
+    busy period, which is the legacy adversarial MUX's hold-and-release
+    instant.
+
+    Parameters
+    ----------
+    traces:
+        Per-flow ``(times, sizes)`` arrays (already horizon-restricted).
+    regulators, offsets:
+        The stagger plan realised by the builder (absolute offsets).
+    capacity:
+        MUX service rate; also the regulators' in-window rate.
+    horizon:
+        With ``drain=False``, deliveries after this instant are
+        discarded (the legacy ``run(until=horizon)`` truncation).
+    drain:
+        Keep every delivery (the default, like the legacy drain loop).
+    """
+    check_positive(capacity, "capacity")
+    k = len(traces)
+    dep_list: list[np.ndarray] = []
+    emit_list: list[np.ndarray] = []
+    size_list: list[np.ndarray] = []
+    flow_list: list[np.ndarray] = []
+    trains_total = 0
+    for f in range(k):
+        times, sizes = traces[f]
+        deps, trains = vacation_departures(
+            times, sizes, regulators[f], offset=float(offsets[f]),
+            out_rate=capacity,
+        )
+        trains_total += trains
+        dep_list.append(deps)
+        emit_list.append(np.asarray(times, dtype=np.float64))
+        size_list.append(np.asarray(sizes, dtype=np.float64))
+        flow_list.append(np.full(deps.size, f, dtype=np.int64))
+    arr = np.concatenate(dep_list) if dep_list else np.empty(0)
+    emits = np.concatenate(emit_list) if emit_list else np.empty(0)
+    sizes_all = np.concatenate(size_list) if size_list else np.empty(0)
+    flows = np.concatenate(flow_list) if flow_list else np.empty(0, dtype=np.int64)
+    n = arr.size
+    if n == 0:
+        return PrimedHostOutcome([np.empty(0) for _ in range(k)], 0, 0)
+    order = np.argsort(arr, kind="stable")
+    arr = arr[order]
+    emits = emits[order]
+    flows = flows[order]
+    tx = sizes_all[order] / capacity
+    # The constant-rate drain: busy_until recurrence, float-sequenced
+    # exactly like the legacy MUX's schedule_in chain.
+    bu = np.empty(n, dtype=np.float64)
+    current = -np.inf
+    arr_l = arr.tolist()
+    tx_l = tx.tolist()
+    for i in range(n):
+        t = arr_l[i]
+        if t > current:
+            current = t
+        current += tx_l[i]
+        bu[i] = current
+    # Busy period ends where the next arrival does not precede the
+    # completion.  An arrival at *exactly* the completion instant
+    # starts a fresh period: in the legacy event chain the MUX finish
+    # event was scheduled inside an earlier event than the equal-time
+    # delivery, so it pops first, finds the heap empty, and releases
+    # (the back-to-back single-flow pattern of mtu-grid traces).
+    nxt = np.empty(n, dtype=np.float64)
+    nxt[:-1] = arr[1:]
+    nxt[-1] = np.inf
+    is_end = nxt >= bu
+    end_idx = np.nonzero(is_end)[0]
+    reps = np.diff(np.concatenate(([-1], end_idx)))
+    delivery = np.repeat(bu[end_idx], reps)
+    if not drain:
+        if horizon is None:
+            raise ValueError("drain=False requires a horizon")
+        keep = delivery <= horizon
+        delivery = delivery[keep]
+        emits = emits[keep]
+        flows = flows[keep]
+    delays = delivery - emits
+    per_flow = [delays[flows == f] for f in range(k)]
+    return PrimedHostOutcome(per_flow, trains_total, int(end_idx.size))

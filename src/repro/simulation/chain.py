@@ -74,6 +74,7 @@ def simulate_regulated_chain(
     stagger_phase: float = 0.0,
     propagation: Optional[Sequence[float]] = None,
     horizon: Optional[float] = None,
+    engine: str = "batched",
 ) -> ChainResult:
     """Simulate the tagged flow across a chain of regulated hosts.
 
@@ -103,6 +104,10 @@ def simulate_regulated_chain(
     propagation:
         Per-hop propagation delay entering each host (length ``hops``;
         index 0 is source -> host 0).  Defaults to zero.
+    engine:
+        ``"batched"`` (window-batched components, default) or
+        ``"legacy"`` (per-packet event chain); see
+        :func:`repro.simulation.host_sim.build_regulated_host`.
 
     Notes
     -----
@@ -150,6 +155,7 @@ def simulate_regulated_chain(
             # De-synchronise consecutive hops' vacation schedules by a
             # golden-ratio-ish fraction of the stagger period.
             stagger_phase=(stagger_phase + h * 0.37) % 1.0,
+            engine=engine,
         )
         mux.priorities = {0: k, **{f: f for f in range(1, k)}}
         entries_per_hop[h] = entries
@@ -160,14 +166,15 @@ def simulate_regulated_chain(
 
     # Tagged flow enters host 0 after its access propagation delay.
     first_entry = entries_per_hop[0][0]
-    for t, s in zip(tagged_trace.times, tagged_trace.sizes):
-        if t >= horizon:
-            break
-        sim.schedule(
-            float(t) + propagation[0],
-            first_entry.receive,
-            Packet(flow_id=0, size=float(s), t_emit=float(t)),
-        )
+    tagged_in = tagged_trace.restrict(horizon)
+    sim.schedule_batch(
+        tagged_in.times + propagation[0],
+        first_entry.receive,
+        (
+            (Packet(flow_id=0, size=float(s), t_emit=float(t)),)
+            for t, s in zip(tagged_in.times, tagged_in.sizes)
+        ),
+    )
     # Cross flows enter their hop directly.
     for h, cross in enumerate(cross_traces_per_hop):
         for f, trace in enumerate(cross, start=1):

@@ -66,10 +66,14 @@ def fluid_work_conserving(
 
     ``D = S + running_min(A - S)``; both inputs must be non-decreasing
     arrays on the same grid with ``A[0] >= 0`` and ``S[0] = 0``.
+
+    One temporary total: the gap buffer is accumulated and re-added in
+    place (HPC guidance: avoid copies in O(n) kernels).
     """
     gap = arrivals_cum - service_cum
     np.minimum.accumulate(gap, out=gap)
-    return service_cum + gap
+    np.add(gap, service_cum, out=gap)
+    return gap
 
 
 def fluid_token_bucket(
@@ -79,13 +83,19 @@ def fluid_token_bucket(
 
     ``D(t) = min( A(t), sigma + rho t + min_{u<=t}[A(u) - rho u] )``.
     An input already conforming to (sigma, rho) passes unchanged.
+
+    Two temporaries total (the ramp and the running buffer); all other
+    arithmetic is in place.
     """
     check_positive(sigma, "sigma")
     check_non_negative(rho, "rho")
-    base = arrivals_cum - rho * t_grid
-    run = np.minimum.accumulate(base)
-    shaped = sigma + rho * t_grid + run
-    return np.minimum(arrivals_cum, shaped)
+    ramp = rho * t_grid
+    run = arrivals_cum - ramp
+    np.minimum.accumulate(run, out=run)
+    np.add(run, ramp, out=run)
+    run += sigma
+    np.minimum(arrivals_cum, run, out=run)
+    return run
 
 
 def fluid_on_time(
@@ -149,7 +159,8 @@ def fluid_mux(
     for a in arrivals_cum:
         if len(a) != n:
             raise ValueError("all flows must share the same grid")
-    service = capacity * (t_grid - t_grid[0])
+    service = t_grid - t_grid[0]
+    service *= capacity
     if discipline == "fifo":
         agg = np.sum(arrivals_cum, axis=0)
         dep_agg = fluid_work_conserving(agg, service)
@@ -169,7 +180,9 @@ def fluid_mux(
         else:
             agg_others = np.zeros(n)
             dep_others = np.zeros(n)
-        leftover = service - dep_others
+        # ``service`` is not consulted again: reuse it as the leftover
+        # buffer instead of allocating one.
+        leftover = np.subtract(service, dep_others, out=service)
         dep_tagged = fluid_work_conserving(arrivals_cum[tagged], leftover)
         out = []
         for i, a in enumerate(arrivals_cum):
@@ -215,18 +228,29 @@ def _compose_by_level(
     arrivals, where any preimage gives the same ``A_f`` value.
     """
     idx = np.searchsorted(arr_agg, dep_agg, side="left")
-    idx = np.clip(idx, 1, len(arr_agg) - 1)
+    np.clip(idx, 1, len(arr_agg) - 1, out=idx)
     lo = idx - 1
     v0 = arr_agg[lo]
-    v1 = arr_agg[idx]
-    rise = v1 - v0
+    rise = arr_agg[idx]
+    np.subtract(rise, v0, out=rise)
+    steep = rise > 1e-15
+    # frac = clip((dep_agg - v0) / rise, 0, 1) where the bin rises,
+    # else 1 (level sets with no arrivals) -- all in the ``v0`` buffer.
+    frac = np.subtract(dep_agg, v0, out=v0)
     with np.errstate(invalid="ignore", divide="ignore"):
-        frac = np.where(rise > 1e-15, (dep_agg - v0) / np.where(rise > 1e-15, rise, 1.0), 1.0)
-    frac = np.clip(frac, 0.0, 1.0)
-    out = arr_flow[lo] + frac * (arr_flow[idx] - arr_flow[lo])
+        np.divide(frac, rise, out=frac, where=steep)
+    frac[~steep] = 1.0
+    np.clip(frac, 0.0, 1.0, out=frac)
+    f_lo = arr_flow[lo]
+    out = arr_flow[idx]
+    np.subtract(out, f_lo, out=out)
+    np.multiply(out, frac, out=out)
+    np.add(out, f_lo, out=out)
     # Levels at/below the first grid value.
-    out = np.where(dep_agg <= arr_agg[0], np.minimum(arr_flow[0], out), out)
-    return np.minimum(out, arr_flow[-1])
+    low = dep_agg <= arr_agg[0]
+    out[low] = np.minimum(arr_flow[0], out[low])
+    np.minimum(out, arr_flow[-1], out=out)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -24,7 +24,7 @@ from repro.calculus.envelope import ArrivalEnvelope
 from repro.overlay.tree import MulticastTree
 from repro.simulation.engine import Simulator
 from repro.simulation.flow import PacketTrace
-from repro.simulation.host_sim import MODES, build_regulated_host
+from repro.simulation.host_sim import MODES, build_regulated_host, inject_trace
 from repro.simulation.measures import DelayStats
 from repro.simulation.packet import Packet
 
@@ -90,6 +90,7 @@ def simulate_multicast_tree(
     discipline: str = "fifo",
     horizon: Optional[float] = None,
     host_capacity: Optional[Mapping[int, float]] = None,
+    engine: str = "batched",
 ) -> TreeSimResult:
     """Simulate group ``group``'s flow over its full tree.
 
@@ -115,6 +116,10 @@ def simulate_multicast_tree(
         :func:`repro.simulation.host_sim.build_regulated_host`).
     host_capacity:
         Optional per-host MUX capacity override (capacity-aware runs).
+    engine:
+        ``"batched"`` (window-batched components, default) or
+        ``"legacy"`` (per-packet event chain); see
+        :func:`repro.simulation.host_sim.build_regulated_host`.
 
     Returns
     -------
@@ -166,23 +171,18 @@ def simulate_multicast_tree(
             sim, env_order, sink_map,
             mode=mode, capacity=cap, discipline=discipline,
             stagger_phase=(hash(host) % 997) / 997.0,
+            engine=engine,
         )
         entries_by_host[host] = entries
 
     # Inject the tagged flow at the root and the K-1 cross flows at
     # every member (each host serves all K groups).
     root_entry = entries_by_host[tree.root][0]
-    tagged = traces[group].restrict(horizon)
-    for t, s in zip(tagged.times, tagged.sizes):
-        sim.schedule(float(t), root_entry.receive,
-                     Packet(flow_id=0, size=float(s), t_emit=float(t)))
+    inject_trace(sim, traces[group].restrict(horizon), 0, root_entry)
     cross = [traces[g].restrict(horizon) for g in range(k) if g != group]
     for host in tree.members():
         for f, tr in enumerate(cross, start=1):
-            entry = entries_by_host[host][f]
-            for t, s in zip(tr.times, tr.sizes):
-                sim.schedule(float(t), entry.receive,
-                             Packet(flow_id=f, size=float(s), t_emit=float(t)))
+            inject_trace(sim, tr, f, entries_by_host[host][f])
 
     sim.run()
     if not per_receiver:

@@ -140,6 +140,74 @@ def test_peek_time_counts_discarded_residue():
     assert sim.cancelled_events == 1
 
 
+def test_pending_is_a_live_counter():
+    """``pending`` must track schedule/cancel/pop without heap scans."""
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    assert sim.pending == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert sim.pending == 8  # immediate, before any pop
+    events[3].cancel()  # double-cancel must not double-decrement
+    assert sim.pending == 8
+    sim.run(until=5.0)
+    assert sim.pending == 3  # 0,1,2,4,5 ran; 3/7 cancelled; 6,8,9 left
+    sim.run()
+    assert sim.pending == 0
+    # Cancelling an already-executed event is a harmless no-op.
+    events[0].cancel()
+    assert sim.pending == 0
+
+
+def test_schedule_batch_orders_and_args():
+    sim = Simulator()
+    log = []
+    sim.schedule_batch(
+        [1.0, 2.0, 3.0], log.append, [("a",), ("b",), ("c",)]
+    )
+    sim.schedule(2.5, log.append, "x")
+    sim.run()
+    assert log == ["a", "b", "x", "c"]
+
+
+def test_schedule_batch_sorted_fast_path_matches_heap_path():
+    def run(times, prefill):
+        sim = Simulator()
+        log = []
+        if prefill:
+            sim.schedule(10.0, log.append, "z")
+        sim.schedule_batch(times, log.append, [(t,) for t in times])
+        sim.run()
+        return log
+
+    times = [0.5, 1.5, 1.5, 2.5]
+    # Empty-queue sorted batch (extend path) vs per-event pushes.
+    assert run(times, prefill=False) + ["z"] == run(times, prefill=True)
+
+
+def test_schedule_batch_unsorted_and_counters():
+    sim = Simulator()
+    log = []
+    events = sim.schedule_batch([3.0, 1.0, 2.0], log.append, [(3,), (1,), (2,)])
+    assert sim.pending == 3
+    events[1].cancel()
+    assert sim.pending == 2
+    sim.run()
+    assert log == [2, 3]
+    assert sim.cancelled_events == 1
+
+
+def test_schedule_batch_rejects_past_and_misaligned_args():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError, match="past"):
+        sim.schedule_batch([0.5], lambda: None)
+    with pytest.raises(ValueError, match="one tuple per time"):
+        sim.schedule_batch([2.0, 3.0], lambda: None, [(1,)])
+    assert sim.schedule_batch([], lambda: None) == []
+
+
 def test_equal_time_cancel_reschedule_churn_is_deterministic():
     """Regression pin: components that cancel and reschedule at the
     *same* timestamp (the vacation regulator's wakeup pattern) must
