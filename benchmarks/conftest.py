@@ -19,9 +19,12 @@ from pathlib import Path
 
 import pytest
 
-#: Machine-readable benchmark trajectory file, written at the repo root
-#: so successive PRs accumulate comparable first-class numbers.
-BENCH_PR3_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+#: Machine-readable benchmark trajectory files, written at the repo
+#: root so successive PRs accumulate comparable first-class numbers
+#: (one ``BENCH_prN.json`` per PR that shipped a perf surface).
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PR3_PATH = _REPO_ROOT / "BENCH_pr3.json"
+BENCH_PR4_PATH = _REPO_ROOT / "BENCH_pr4.json"
 
 
 @pytest.fixture(scope="session")
@@ -33,30 +36,38 @@ def artifact_report():
         print("\n" + "\n\n".join(chunks))
 
 
-@pytest.fixture(scope="session")
-def bench_pr3():
-    """Collects PR-3 perf metrics; merged into ``BENCH_pr3.json``.
-
-    Sections are merged (not replaced wholesale) so an opt-in
-    ``-m scenario`` run can add the thousand-cell campaign numbers to a
-    file produced by a default run.
-    """
-    data: dict = {}
-    yield data
+def _merge_bench_file(path: Path, pr: int, data: dict) -> None:
+    """Merge collected metrics into a trajectory file (sections merge,
+    not replace, so opt-in ``-m scenario`` runs can add their numbers
+    to a file produced by a default run)."""
     if not data:
         return
     existing: dict = {}
-    if BENCH_PR3_PATH.exists():
+    if path.exists():
         try:
-            existing = json.loads(BENCH_PR3_PATH.read_text())
+            existing = json.loads(path.read_text())
         except ValueError:
             existing = {}
     existing.update(data)
-    existing["pr"] = 3
-    BENCH_PR3_PATH.write_text(
-        json.dumps(existing, indent=2, sort_keys=True) + "\n"
-    )
-    print(f"\nBENCH_pr3.json updated: {sorted(data)}")
+    existing["pr"] = pr
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(f"\n{path.name} updated: {sorted(data)}")
+
+
+@pytest.fixture(scope="session")
+def bench_pr3():
+    """Collects PR-3 perf metrics; merged into ``BENCH_pr3.json``."""
+    data: dict = {}
+    yield data
+    _merge_bench_file(BENCH_PR3_PATH, 3, data)
+
+
+@pytest.fixture(scope="session")
+def bench_pr4():
+    """Collects PR-4 store metrics; merged into ``BENCH_pr4.json``."""
+    data: dict = {}
+    yield data
+    _merge_bench_file(BENCH_PR4_PATH, 4, data)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Sharded thousand-cell campaign: two concurrent shard processes fill
+# one WAL-mode SQLite store, then the summary is refreshed over the
+# union and the result is gated against a pinned baseline store.
+#
+# The shard assignment is a pure function of each cell's content
+# fingerprint, and every cell's RNG stream derives from
+# (campaign seed, fingerprint), so this sharded run is bit-identical
+# to `scenarios run --campaign examples/campaign_thousand.json` in one
+# process: same records, byte-identical summary.json, clean diff.
+#
+# Usage: examples/campaign_sharded.sh [STORE_DIR] [BASELINE_STORE]
+set -e
+
+STORE="sqlite:${1:-campaigns/shared}"
+BASELINE="${2:-}"
+CAMPAIGN="$(dirname "$0")/campaign_thousand.json"
+
+run_shard() {
+    python -m repro.experiments.cli scenarios run \
+        --campaign "$CAMPAIGN" \
+        --store "$STORE" --resume --shard "$1"
+}
+
+run_shard 1/2 &
+PID1=$!
+run_shard 2/2 &
+PID2=$!
+wait "$PID1" "$PID2"
+
+# Concurrent shards each rewrote summary.json over the records they
+# saw; refresh it once over the completed union.
+python -m repro.experiments.cli scenarios merge "$STORE"
+
+if [ -n "$BASELINE" ]; then
+    # CI gate: exit 1 on any soundness/perf-budget regression (and,
+    # with --strict, on baseline cells missing from this run).
+    python -m repro.experiments.cli scenarios diff --strict \
+        "$BASELINE" "$STORE"
+fi

@@ -15,12 +15,27 @@ and drives the scenario-matrix cross-validation subsystem::
     repro-experiments scenarios run \\
         --campaign examples/campaign_thousand.json \\
         --jobs 4 --store campaigns/nightly --resume      # parallel campaign
+    repro-experiments scenarios run \\
+        --campaign examples/campaign_thousand.json \\
+        --store sqlite:campaigns/shared --shard 1/2      # one of 2 shards
+    repro-experiments scenarios merge campaigns/all \\
+        campaigns/shard1 campaigns/shard2                # join shard stores
     repro-experiments scenarios diff campaigns/a campaigns/b
+    repro-experiments scenarios curate campaigns/nightly \\
+        --out corpus_curated.json                        # promote tight cells
+
+Stores are named by URL or path: ``sqlite:DIR`` opens the WAL-mode
+SQLite backend (safe for concurrent shard writers), ``jsonl:DIR`` the
+append-only JSONL directory, and a bare path auto-detects whichever
+backend already lives there (JSONL for fresh directories).
 
 Output is plain text shaped like the paper's figures/tables; the
 ``scenarios run`` exit status is non-zero when any soundness or
-perf-budget verdict fails, and ``scenarios diff`` is non-zero on any
-regression between the two campaign stores (CI-friendly).
+perf-budget verdict fails (or, with ``--baseline STORE``, on any
+regression against that pinned store), and ``scenarios diff`` is
+non-zero on any soundness/perf-budget regression between the two
+campaign stores -- with ``--strict``, also on baseline cells missing
+from the candidate -- so both gate CI directly.
 """
 
 from __future__ import annotations
@@ -141,22 +156,28 @@ def _print_theory() -> None:
 def _scenarios_main(argv: list[str]) -> int:
     """The ``scenarios`` subcommand: batched cross-validation at scale."""
     import dataclasses
+    import json
 
     from repro.runtime import (
         CampaignConfig,
         EXECUTOR_KINDS,
-        ResultStore,
         backend_profile,
         build_campaign,
         diff_stores,
         make_executor,
+        merge_stores,
+        open_store,
         outcome_record,
+        parse_shard,
         run_campaign,
     )
     from repro.scenarios import (
         adversarial_corpus,
+        curate_records,
         generate_scenarios,
+        load_curated,
         registered_scenarios,
+        save_curated,
     )
 
     parser = argparse.ArgumentParser(
@@ -185,12 +206,32 @@ def _scenarios_main(argv: list[str]) -> int:
         "process otherwise)",
     )
     p_run.add_argument(
-        "--store", default=None, metavar="DIR",
-        help="campaign directory for persistent JSONL results",
+        "--store", default=None, metavar="URL",
+        help="persistent result store: a directory (JSONL), sqlite:DIR "
+        "(WAL-mode SQLite, safe for concurrent shard writers), or "
+        "jsonl:DIR",
     )
     p_run.add_argument(
         "--resume", action="store_true",
         help="skip cells already completed in --store",
+    )
+    p_run.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only this shard of the matrix (1-based: 1/2 and 2/2 "
+        "are the halves), partitioned deterministically by cell "
+        "fingerprint; shards may run concurrently against one SQLite "
+        "store or per-shard stores joined later with 'scenarios merge'",
+    )
+    p_run.add_argument(
+        "--baseline", default=None, metavar="URL",
+        help="pinned baseline store: after the run, diff the --store "
+        "against it and fail on any soundness/perf-budget regression "
+        "(requires --store)",
+    )
+    p_run.add_argument(
+        "--corpus", default=None, metavar="FILE",
+        help="also run the scenarios of a curated corpus file "
+        "(see 'scenarios curate')",
     )
     p_run.add_argument(
         "--budget", type=float, default=0.0, metavar="SECONDS",
@@ -216,10 +257,49 @@ def _scenarios_main(argv: list[str]) -> int:
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", default=None, help="filter by tag")
     p_diff = sub.add_parser(
-        "diff", help="compare two campaign stores cell-by-cell"
+        "diff",
+        help="compare two campaign stores cell-by-cell (exit 1 on any "
+        "soundness or perf-budget regression: the CI baseline gate)",
     )
-    p_diff.add_argument("old", help="baseline campaign directory")
-    p_diff.add_argument("new", help="candidate campaign directory")
+    p_diff.add_argument("old", help="baseline campaign store (path or URL)")
+    p_diff.add_argument("new", help="candidate campaign store (path or URL)")
+    p_diff.add_argument(
+        "--strict", action="store_true",
+        help="also fail when baseline cells are missing from the "
+        "candidate (coverage loss)",
+    )
+    p_diff.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="additionally write the machine-readable diff to FILE",
+    )
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge shard stores into one and rewrite its summary "
+        "(no sources: refresh the summary of a shared store after "
+        "concurrent shards finish)",
+    )
+    p_merge.add_argument("dest", help="destination store (path or URL)")
+    p_merge.add_argument(
+        "sources", nargs="*", help="shard stores to fold in (paths or URLs)"
+    )
+    p_curate = sub.add_parser(
+        "curate",
+        help="promote store cells with tightness close to 1 into a "
+        "curated corpus file (re-runnable via 'run --corpus')",
+    )
+    p_curate.add_argument("store", help="campaign store (path or URL)")
+    p_curate.add_argument(
+        "--min-tightness", type=float, default=0.9, metavar="T",
+        help="promotion threshold on measured/bound (default 0.9)",
+    )
+    p_curate.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="keep at most the N tightest cells",
+    )
+    p_curate.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the curated corpus JSON here (default: print names only)",
+    )
     args = parser.parse_args(argv)
 
     if args.action == "list":
@@ -235,19 +315,85 @@ def _scenarios_main(argv: list[str]) -> int:
         print(f"{len(rows)} scenarios")
         return 0
 
+    def _reference_store(target):
+        """Open a store consumed as a reference: a typo'd or empty path
+        must fail the command loudly, never pass a gate by comparing
+        against nothing."""
+        try:
+            return open_store(target, must_exist=True)
+        except FileNotFoundError as exc:
+            parser.error(str(exc))
+
     if args.action == "diff":
-        diff = diff_stores(args.old, args.new)
+        diff = diff_stores(
+            _reference_store(args.old), _reference_store(args.new)
+        )
         print("== Campaign diff ==")
         for line in diff.summary_lines():
             print(line)
-        return 0 if diff.clean else 1
+        if args.strict and diff.removed:
+            print(f"STRICT: {len(diff.removed)} baseline cells missing")
+        if args.json_out:
+            from pathlib import Path
+
+            Path(args.json_out).write_text(
+                json.dumps(diff.to_dict(), indent=2) + "\n"
+            )
+        return 0 if diff.gate(strict=args.strict) else 1
+
+    if args.action == "merge":
+        summary = merge_stores(
+            args.dest, [_reference_store(src) for src in args.sources]
+        )
+        print("== Store merge ==")
+        print(
+            f"merged {len(args.sources)} shard store(s) into {args.dest}"
+            if args.sources
+            else f"refreshed summary of {args.dest}"
+        )
+        print(
+            f"cells: {summary['cells']}, sound: {summary['sound']}, "
+            f"unsound: {summary['unsound']}, errors: {summary['errors']}"
+        )
+        return 0
+
+    if args.action == "curate":
+        if args.min_tightness <= 0:
+            parser.error("--min-tightness must be > 0")
+        if args.limit is not None and args.limit < 1:
+            parser.error("--limit must be >= 1")
+        promoted = curate_records(
+            _reference_store(args.store).load().values(),
+            min_tightness=args.min_tightness,
+            limit=args.limit,
+        )
+        print("== Store-driven curation ==")
+        print(
+            f"promoted {len(promoted)} cells with tightness >= "
+            f"{args.min_tightness}"
+        )
+        for sc in promoted:
+            print(f"  {sc.name}")
+        if args.out:
+            save_curated(promoted, args.out)
+            print(f"curated corpus written: {args.out}")
+        return 0
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.resume and not args.store:
         parser.error("--resume requires --store")
+    if args.baseline and not args.store:
+        parser.error("--baseline requires --store")
+    if args.baseline:
+        _reference_store(args.baseline)  # fail before the run, not after
     if args.budget < 0:
         parser.error("--budget must be >= 0")
+    if args.shard:
+        try:
+            parse_shard(args.shard)
+        except ValueError as exc:
+            parser.error(str(exc))
     if args.campaign:
         config = CampaignConfig.from_file(args.campaign)
         if args.budget:
@@ -266,8 +412,21 @@ def _scenarios_main(argv: list[str]) -> int:
             scenarios += generate_scenarios(
                 args.count, seed=args.seed, perf_budget=args.budget
             )
-        if not scenarios:
+        if not scenarios and not args.corpus:
             parser.error("nothing to run (--count 0 together with --no-corpus)")
+    if args.corpus:
+        try:
+            curated = list(load_curated(args.corpus))
+        except (OSError, ValueError, TypeError) as exc:
+            parser.error(f"cannot load --corpus {args.corpus}: {exc}")
+        if args.budget:
+            # Safe to restamp: perf_budget is a verdict-only knob, so
+            # the curated cells keep their store keys and seeds.
+            curated = [
+                dataclasses.replace(sc, perf_budget=args.budget)
+                for sc in curated
+            ]
+        scenarios += curated
     tick = None
     if len(scenarios) >= 100:
         # Live in-flight ticker on stderr (chunk granularity) so long
@@ -281,6 +440,7 @@ def _scenarios_main(argv: list[str]) -> int:
         executor=make_executor(args.executor, args.jobs),
         store=args.store,
         resume=args.resume,
+        shard=args.shard,
         tick=tick,
         cost_model=None if args.no_cost_model else "auto",
     )
@@ -300,7 +460,7 @@ def _scenarios_main(argv: list[str]) -> int:
         print(line)
     if args.profile:
         if args.store:
-            records = list(ResultStore(args.store).load().values())
+            records = list(open_store(args.store).load().values())
         else:
             records = [outcome_record(o) for o in campaign.report.outcomes]
         rows = [
@@ -314,7 +474,14 @@ def _scenarios_main(argv: list[str]) -> int:
             rows, title="== Per-backend cell cost (from store) =="
             if args.store else "== Per-backend cell cost (this run) ==",
         ))
-    return 0 if campaign.clean else 1
+    baseline_clean = True
+    if args.baseline:
+        diff = diff_stores(_reference_store(args.baseline), args.store)
+        print(f"== Baseline gate (vs {args.baseline}) ==")
+        for line in diff.summary_lines():
+            print(line)
+        baseline_clean = diff.clean
+    return 0 if campaign.clean and baseline_clean else 1
 
 
 def main(argv: list[str] | None = None) -> int:

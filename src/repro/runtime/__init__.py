@@ -22,22 +22,29 @@ tier-1 smoke slice to thousands of cells:
     randomness from the spec's seed).
 
 ``store`` (:mod:`repro.runtime.store`)
-    The **persistent result store**: an append-only ``results.jsonl``
-    under a campaign directory, one record per evaluated cell, keyed by
-    a sha256 content hash of the full spec (``cell_key``) plus a
-    seed-independent ``spec_fingerprint`` used for deterministic
-    per-cell seed derivation.  Corrupt lines are quarantined to
-    ``quarantine.jsonl``, never fatal; ``summary.json`` aggregates the
-    store; ``diff_stores`` compares two campaigns cell-by-cell and
-    flags soundness and perf-budget regressions.  The record schema is
+    The **pluggable persistent result store**: one record per evaluated
+    cell, keyed by a sha256 content hash of the full spec (``cell_key``)
+    plus a seed-independent ``spec_fingerprint`` used for deterministic
+    per-cell seed derivation and campaign sharding.  Two backends share
+    the contract behind ``open_store(url_or_path)``: the append-only
+    JSONL directory store (``jsonl:DIR`` or a bare path) and a WAL-mode
+    SQLite store (``sqlite:DIR``, :mod:`repro.runtime.store_sqlite`)
+    that is safe for concurrent shard writers.  Corrupt rows are
+    quarantined (file or table), never fatal; ``summary.json``
+    aggregates the store **deterministically** (verdict counts only, no
+    wall clocks), so sharded and serial runs summarise bit-identically;
+    ``diff_stores`` compares two campaigns cell-by-cell and flags
+    soundness and perf-budget regressions (the CI baseline gate);
+    ``merge_stores`` joins per-shard stores.  The record schema is
     documented in the module docstring.
 
 ``campaign`` (:mod:`repro.runtime.campaign`)
     The driver tying both together: ``run_campaign`` evaluates a matrix
     on an executor, appends verdicts to a store, skips already-completed
-    cells on ``resume`` and reports perf-budget violations alongside
-    soundness.  ``CampaignConfig`` is the JSON description behind the
-    CLI's ``--campaign`` flag.
+    cells on ``resume``, restricts itself to a fingerprint-partitioned
+    slice under ``shard="i/N"``, and reports perf-budget violations
+    alongside soundness.  ``CampaignConfig`` is the JSON description
+    behind the CLI's ``--campaign`` flag.
 
 ``cost`` (:mod:`repro.runtime.cost`)
     Cost-model-driven scheduling: ``CellCostModel`` predicts per-cell
@@ -72,7 +79,9 @@ from repro.runtime.campaign import (
     CampaignReport,
     build_campaign,
     outcome_record,
+    parse_shard,
     run_campaign,
+    shard_scenarios,
 )
 from repro.runtime.cost import (
     CellCostModel,
@@ -90,12 +99,17 @@ from repro.runtime.executor import (
 )
 from repro.runtime.store import (
     CampaignDiff,
+    JsonlResultStore,
     ResultStore,
     cell_key,
     diff_records,
     diff_stores,
+    fingerprint_shard,
+    merge_stores,
+    open_store,
     spec_fingerprint,
 )
+from repro.runtime.store_sqlite import SqliteResultStore
 
 __all__ = [
     "CampaignConfig",
@@ -106,17 +120,24 @@ __all__ = [
     "plan_chunks",
     "EXECUTOR_KINDS",
     "Executor",
+    "JsonlResultStore",
     "ProcessExecutor",
     "ResultStore",
     "SerialExecutor",
+    "SqliteResultStore",
     "TaskResult",
     "ThreadExecutor",
     "build_campaign",
     "cell_key",
     "diff_records",
     "diff_stores",
+    "fingerprint_shard",
     "make_executor",
+    "merge_stores",
+    "open_store",
     "outcome_record",
+    "parse_shard",
     "run_campaign",
+    "shard_scenarios",
     "spec_fingerprint",
 ]

@@ -9,8 +9,13 @@ to a :class:`repro.runtime.store.ResultStore`.  On top of
   record in the store are skipped, so an interrupted thousand-cell
   campaign continues where it stopped and a finished one re-runs as a
   no-op;
-* **persistence** -- one JSONL record per cell plus a rewritten
+* **persistence** -- one store record per cell (JSONL or SQLite
+  backend, see :mod:`repro.runtime.store`) plus a rewritten
   ``summary.json`` after every run, diffable across campaigns;
+* **sharding** -- ``shard="i/N"`` deterministically partitions the
+  matrix by cell fingerprint, so N independent processes (or hosts)
+  each run their slice against one shared SQLite store, or per-shard
+  stores later joined by :func:`repro.runtime.store.merge_stores`;
 * **perf budgets** -- per-cell wall-clock budgets (see
   ``Scenario.perf_budget``) verdicted alongside soundness.
 
@@ -20,13 +25,20 @@ to a :class:`repro.runtime.store.ResultStore`.  On top of
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.runtime.executor import Executor
-from repro.runtime.store import ResultStore, cell_key
+from repro.runtime.store import (
+    ResultStore,
+    cell_key,
+    fingerprint_shard,
+    open_store,
+    spec_fingerprint,
+)
 from repro.scenarios.runner import BatchReport, ScenarioOutcome, run_batch
 from repro.scenarios.spec import Scenario
 from repro.utils.validation import check_positive, check_positive_int
@@ -36,6 +48,8 @@ __all__ = [
     "CampaignReport",
     "build_campaign",
     "outcome_record",
+    "parse_shard",
+    "shard_scenarios",
     "run_campaign",
 ]
 
@@ -93,10 +107,60 @@ def build_campaign(config: CampaignConfig) -> list[Scenario]:
     )
 
 
+def parse_shard(spec: Union[str, None, tuple[int, int]]) -> Optional[tuple[int, int]]:
+    """Parse an ``"i/N"`` shard spec into a 0-based ``(index, total)``.
+
+    ``i`` is 1-based on the command line (``--shard 1/2`` and
+    ``--shard 2/2`` are the two halves); a ``(index, total)`` tuple is
+    validated and passed through; ``None`` means no sharding.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        parts = spec.split("/")
+        try:
+            if len(parts) != 2:
+                raise ValueError(spec)
+            i, total = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/N' (e.g. 1/2), got {spec!r}"
+            ) from None
+        if total < 1 or not 1 <= i <= total:
+            raise ValueError(
+                f"shard index must lie in 1..N, got {spec!r}"
+            )
+        return i - 1, total
+    index, total = spec
+    if total < 1 or not 0 <= index < total:
+        raise ValueError(f"shard (index, total) out of range: {spec!r}")
+    return int(index), int(total)
+
+
+def shard_scenarios(
+    scenarios: Sequence[Scenario], shard: Union[str, None, tuple[int, int]]
+) -> list[Scenario]:
+    """The sub-matrix a shard owns, partitioned by cell fingerprint.
+
+    Pure content partitioning (``fingerprint_shard``): every cell lands
+    in exactly one shard, the assignment is identical on every host and
+    for any matrix ordering, and it ignores seeds and verdict knobs --
+    so concurrent shard runs against one store (or per-shard stores
+    merged later) reproduce the unsharded campaign record-for-record.
+    """
+    parsed = parse_shard(shard)
+    if parsed is None:
+        return list(scenarios)
+    index, total = parsed
+    return [
+        sc
+        for sc in scenarios
+        if fingerprint_shard(spec_fingerprint(sc), total) == index
+    ]
+
+
 def outcome_record(outcome: ScenarioOutcome) -> dict:
     """The store record (schema in :mod:`repro.runtime.store`)."""
-    from repro.runtime.store import spec_fingerprint
-
     sc = outcome.scenario
     return {
         "key": cell_key(sc),
@@ -129,6 +193,10 @@ def outcome_record(outcome: ScenarioOutcome) -> dict:
         "tree_members": int(sc.tree_members),
         "horizon": float(sc.horizon),
         "dt": float(sc.dt),
+        # The full spec (v2): makes the store self-contained, so
+        # ``scenarios curate`` can re-materialise promising cells and
+        # any record can be re-run without the generating code.
+        "spec": dataclasses.asdict(sc),
     }
 
 
@@ -149,8 +217,11 @@ class CampaignReport:
     skipped_violations: int = 0
     skipped_budget_violations: int = 0
     store_root: Optional[str] = None
+    store_kind: Optional[str] = None
     store_records: int = 0
     quarantined: int = 0
+    #: ``(index, total)`` when this run evaluated one shard only.
+    shard: Optional[tuple[int, int]] = None
 
     @property
     def evaluated(self) -> int:
@@ -168,7 +239,12 @@ class CampaignReport:
 
     def summary_lines(self) -> list[str]:
         lines = [
-            f"cells requested: {self.requested}",
+            f"cells requested: {self.requested}"
+            + (
+                f" (shard {self.shard[0] + 1}/{self.shard[1]})"
+                if self.shard
+                else ""
+            ),
             f"cells skipped (already in store): {self.skipped}",
         ]
         if self.skipped_violations or self.skipped_budget_violations:
@@ -180,7 +256,8 @@ class CampaignReport:
         lines.extend(self.report.summary_lines())
         if self.store_root is not None:
             lines.append(
-                f"store: {self.store_root} ({self.store_records} records"
+                f"store: {self.store_root} "
+                f"[{self.store_kind or 'jsonl'}] ({self.store_records} records"
                 + (
                     f", {self.quarantined} corrupt lines quarantined)"
                     if self.quarantined
@@ -200,6 +277,7 @@ def run_campaign(
     executor: Optional[Executor] = None,
     store: Optional[Union[str, Path, ResultStore]] = None,
     resume: bool = False,
+    shard: Union[str, None, tuple[int, int]] = None,
     progress: Optional[callable] = None,
     tick: Optional[callable] = None,
     cost_model: Union[str, None, "CellCostModel"] = "auto",
@@ -215,6 +293,15 @@ def run_campaign(
     rewritten.  ``tick(done, total)`` (optional) streams live progress
     from the executor as chunks complete.
 
+    ``store`` accepts a store instance, a directory, or a backend URL
+    (``sqlite:DIR`` / ``jsonl:DIR``, see
+    :func:`repro.runtime.store.open_store`).  ``shard`` (``"i/N"`` or a
+    0-based ``(index, total)``) restricts the run to the cells this
+    shard owns by content fingerprint: concurrent shard processes can
+    fill one shared SQLite store (or per-shard stores merged later by
+    :func:`repro.runtime.store.merge_stores`) and together reproduce
+    the unsharded campaign exactly.
+
     ``cost_model`` steers the parallel scheduler (dearest-first,
     cost-equalised chunks): ``"auto"`` (default) uses the shipped
     coefficients -- refitted from the store's recorded per-cell wall
@@ -225,12 +312,10 @@ def run_campaign(
     """
     from repro.runtime.cost import CellCostModel
 
-    scenarios = list(scenarios)
+    scenarios = shard_scenarios(scenarios, shard)
     result_store: Optional[ResultStore] = None
     if store is not None:
-        result_store = (
-            store if isinstance(store, ResultStore) else ResultStore(store)
-        )
+        result_store = open_store(store)
     if resume and result_store is None:
         raise ValueError("resume=True requires a store")
 
@@ -277,12 +362,10 @@ def run_campaign(
     store_records = 0
     if result_store is not None:
         result_store.append_many(outcome_record(o) for o in report.outcomes)
-        summary = result_store.write_summary(
-            extra={
-                "campaign_cells_requested": len(scenarios),
-                "campaign_cells_skipped": skipped,
-            }
-        )
+        # The summary is deterministic (content-derived aggregates
+        # only, no run-local extras): a sharded run's final summary is
+        # bit-identical to the serial one over the same records.
+        summary = result_store.write_summary()
         store_records = int(summary["cells"])
         quarantined = max(quarantined, result_store.quarantined)
     return CampaignReport(
@@ -292,6 +375,8 @@ def run_campaign(
         skipped_violations=skipped_violations,
         skipped_budget_violations=skipped_budget,
         store_root=str(result_store.root) if result_store else None,
+        store_kind=result_store.kind if result_store else None,
         store_records=store_records,
         quarantined=quarantined,
+        shard=parse_shard(shard),
     )

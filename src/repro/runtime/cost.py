@@ -148,20 +148,36 @@ class CellCostModel:
         is the median of ``wall_time / workload`` -- robust to the odd
         cold-start or GC outlier -- and backends absent from the data
         keep their prior coefficient.
+
+        Degenerate refits are guarded rather than propagated: an empty
+        store, records with missing/zero/non-finite wall clocks or
+        workloads (the ratio model's analogue of singular or constant
+        feature columns), and samples whose median would be
+        non-positive or non-finite all fall back to the prior
+        coefficient -- a refit can never poison the scheduler with NaN
+        or zero costs.
         """
         prior = base if base is not None else cls()
         samples: dict[str, list[float]] = {}
         for rec in records:
             wall = rec.get("wall_time") if isinstance(rec, Mapping) else None
-            if not wall or wall <= 0:
+            if not isinstance(wall, (int, float)):
                 continue
-            backend, workload = _spec_features(rec)
-            if workload <= 0:
+            wall = float(wall)
+            if not np.isfinite(wall) or wall <= 0:
                 continue
-            samples.setdefault(backend, []).append(float(wall) / workload)
+            try:
+                backend, workload = _spec_features(rec)
+            except (TypeError, ValueError):
+                continue  # malformed feature fields: unusable record
+            if not np.isfinite(workload) or workload <= 0:
+                continue
+            samples.setdefault(backend, []).append(wall / workload)
         coeffs = dict(prior.coefficients)
         for backend, ratios in samples.items():
-            coeffs[backend] = float(np.median(ratios))
+            coeff = float(np.median(ratios))
+            if np.isfinite(coeff) and coeff > 0:
+                coeffs[backend] = coeff
         return cls(coefficients=coeffs, variance=dict(prior.variance))
 
 

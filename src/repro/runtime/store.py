@@ -1,23 +1,45 @@
-"""Persistent campaign result store with content-addressed cell keys.
+"""Pluggable persistent campaign result stores.
 
-A campaign directory holds three files:
+A campaign's results live in a *store*: one record per evaluated cell,
+keyed by a sha256 content hash of the cell's spec, plus an aggregate
+``summary.json``.  Two interchangeable backends implement the
+:class:`ResultStore` contract:
 
-``results.jsonl``
-    One JSON object per evaluated cell (schema below), appended as
-    cells complete.  The file is the source of truth: re-running a
-    campaign with ``resume`` skips every cell whose key already has a
-    record, so a crashed or interrupted campaign continues where it
-    stopped.  Duplicate keys are legal; the **last** record wins.
-``quarantine.jsonl``
-    Lines of ``results.jsonl`` that failed to parse (torn writes,
-    manual edits).  Corruption is never fatal: bad lines are moved
-    here on load and the campaign proceeds without them.
-``summary.json``
-    Aggregate counts rewritten after every campaign run.
+:class:`JsonlResultStore` (``jsonl:DIR`` or a plain directory)
+    Append-only ``results.jsonl`` under a campaign directory.  The
+    original backend: human-greppable, diff-friendly, single-writer
+    (concurrent appends from multiple processes can tear lines, which
+    the quarantine then eats).
+:class:`SqliteResultStore` (``sqlite:DIR``)
+    ``results.sqlite`` under a campaign directory, WAL-journaled, cell
+    keys as primary keys.  Safe for **concurrent writers**: independent
+    shard processes (or hosts on a shared filesystem) fill one store
+    without torn records, which is what campaign sharding
+    (``scenarios run --shard i/N``) builds on.
 
-Cell record schema (``v`` = 1)::
+:func:`open_store` is the factory: it accepts a store instance, a
+``scheme:path`` URL, or a bare directory (auto-detected by the files
+present, defaulting to JSONL).  Everything above the store -- resume,
+cost-model refit, perf-budget verdicts, ``diff_stores``,
+``merge_stores`` -- is backend-agnostic.
 
-    {"v": 1,
+Shared semantics (the backend contract)
+---------------------------------------
+* ``append`` / ``append_many`` persist records carrying a ``key``;
+  duplicate keys are legal and the **last** record wins.
+* ``load`` returns all valid records keyed by cell key.  Corrupt rows
+  (torn JSONL lines, manually edited SQLite payloads) are moved to the
+  backend's quarantine (``quarantine.jsonl`` file / ``quarantine``
+  table), counted in :attr:`ResultStore.quarantined`, and never raised.
+* ``write_summary`` rewrites ``summary.json`` from the records.  The
+  summary is **deterministic**: it aggregates only content-derived
+  fields (verdict counts, tightness), never wall clocks -- so a
+  campaign sharded over N concurrent processes produces a
+  ``summary.json`` bit-identical to the serial single-process run.
+
+Cell record schema (``v`` = 2)::
+
+    {"v": 2,
      "key": <sha256 prefix over the full scenario spec, seed included>,
      "fingerprint": <sha256 prefix over the spec minus its seed>,
      "name": str, "sound": bool, "error": str | null,
@@ -26,7 +48,15 @@ Cell record schema (``v`` = 1)::
      "eff_mode": str, "eff_backend": str, "hops": int,
      "propagation_total": float, "events": int, "cancelled_events": int,
      "height_ok": bool, "wall_time": float,
-     "perf_budget": float, "budget_ok": bool, "tags": [str, ...]}
+     "perf_budget": float, "budget_ok": bool, "tags": [str, ...],
+     "backend": str, "k": int, "tree_members": int,
+     "horizon": float, "dt": float,
+     "spec": {<full Scenario spec as a JSON object>}}
+
+``v2`` adds ``spec`` -- the complete scenario spec -- so a store is
+self-contained: ``scenarios curate`` re-materialises promising cells
+from it without the generating code, and any cell can be re-run from
+its record alone.  ``v1`` records (no ``spec``) load fine.
 
 ``key`` identifies *the evaluation*: it hashes every field that can
 change a realised trace or a measured delay (any such change
@@ -34,10 +64,12 @@ re-evaluates), but **not** ``perf_budget`` -- a budget only moves the
 verdict threshold, so tightening it must neither invalidate stored
 measurements nor decouple two otherwise-identical campaigns under
 ``diff``.  ``fingerprint`` additionally drops the seed: it names the
-configuration alone, and is what deterministic per-cell seed
-derivation hashes (:func:`repro.scenarios.generator.generate_scenarios`).
-Keys are content hashes, so two campaigns are diffable cell-by-cell no
-matter how their matrices were ordered or chunked.
+configuration alone, is what deterministic per-cell seed derivation
+hashes (:func:`repro.scenarios.generator.generate_scenarios`), and is
+what campaign sharding partitions on (a cell's shard never depends on
+its seed derivation, execution order, or verdict knobs).  Keys are
+content hashes, so two campaigns are diffable cell-by-cell no matter
+how their matrices were ordered, chunked, or sharded.
 """
 
 from __future__ import annotations
@@ -45,21 +77,26 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Optional, Union
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 __all__ = [
     "SCHEMA_VERSION",
     "spec_fingerprint",
     "cell_key",
+    "fingerprint_shard",
     "ResultStore",
+    "JsonlResultStore",
+    "open_store",
+    "merge_stores",
     "CampaignDiff",
     "diff_records",
     "diff_stores",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Hex digits kept from the sha256 digest (64 bits: ample for campaign
 #: sizes while keeping keys human-greppable).
@@ -119,17 +156,170 @@ def cell_key(spec: Any) -> str:
     return _hash_fields(fields)
 
 
+def fingerprint_shard(fingerprint: str, total: int) -> int:
+    """Deterministic shard index of a cell fingerprint, in ``[0, total)``.
+
+    Pure content partitioning: the same cell lands in the same shard on
+    every host, for any matrix ordering, because the fingerprint hashes
+    the configuration alone.
+    """
+    if total < 1:
+        raise ValueError(f"shard count must be >= 1, got {total}")
+    return int(fingerprint, 16) % total
+
+
+# ----------------------------------------------------------------------
+# The store contract
+# ----------------------------------------------------------------------
 class ResultStore:
-    """Append-only JSONL store under one campaign directory."""
+    """Backend contract for persistent campaign result stores.
+
+    Calling the base class dispatches through :func:`open_store`, so
+    ``ResultStore(target)`` keeps working as the one-stop constructor
+    for paths and URLs::
+
+        ResultStore("campaigns/nightly")          # JSONL (default)
+        ResultStore("sqlite:campaigns/nightly")   # SQLite backend
+
+    (An existing store *instance* must go through :func:`open_store`
+    instead: ``type.__call__`` would re-run the instance's ``__init__``
+    after the dispatching ``__new__`` returned it.)
+
+    Subclasses implement ``append``/``append_many``/``load`` plus the
+    ``kind`` label; everything else (summaries, completed keys) is
+    shared and backend-agnostic.
+    """
+
+    SUMMARY = "summary.json"
+
+    #: Backend label (CLI/report lines, ``open_store`` schemes).
+    kind: str = "abstract"
+    #: Campaign directory.
+    root: Path
+    #: Number of corrupt rows moved aside by the last :meth:`load`.
+    quarantined: int = 0
+
+    def __new__(cls, target: Union[str, Path, None] = None, *args, **kwargs):
+        if cls is ResultStore:
+            if target is None:
+                raise TypeError("ResultStore needs a target path or URL")
+            if isinstance(target, ResultStore):
+                raise TypeError(
+                    "pass existing store instances to open_store(); "
+                    "ResultStore(instance) would re-run its __init__"
+                )
+            return open_store(target)
+        return super().__new__(cls)
+
+    @property
+    def summary_path(self) -> Path:
+        return self.root / self.SUMMARY
+
+    # -- backend hooks ---------------------------------------------------
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Persist one cell record (must carry a ``key``)."""
+        raise NotImplementedError
+
+    def append_many(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Persist many records (backends batch this into one commit)."""
+        for rec in records:
+            self.append(rec)
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """All valid records keyed by cell key (last record wins).
+
+        Corrupt rows are moved to the backend's quarantine and counted
+        in :attr:`quarantined` -- never raised.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (no-op for file-based backends)."""
+
+    # -- shared ----------------------------------------------------------
+    @staticmethod
+    def _stamp(record: Mapping[str, Any]) -> dict[str, Any]:
+        if "key" not in record:
+            raise ValueError("a cell record needs a 'key'")
+        return {"v": SCHEMA_VERSION, **record}
+
+    def completed_keys(self) -> set[str]:
+        """Keys of cells whose evaluation finished without a crash."""
+        return {
+            key
+            for key, rec in self.load().items()
+            if not rec.get("error")
+        }
+
+    def write_summary(self, extra: Optional[Mapping[str, Any]] = None) -> dict:
+        """Aggregate the store into ``summary.json`` (and return it).
+
+        Deterministic by construction: only content-derived verdict
+        aggregates enter the summary (never wall clocks or run-local
+        accounting), so any partitioning of a campaign over concurrent
+        writers summarises bit-identically to the serial run.  Volatile
+        run facts (throughput, worker wall time) live in the run report
+        (:class:`repro.runtime.campaign.CampaignReport`) instead.
+        """
+        records = self.load()
+        finite = [
+            r["tightness"]
+            for r in records.values()
+            if isinstance(r.get("tightness"), (int, float))
+        ]
+        summary = {
+            "v": SCHEMA_VERSION,
+            "cells": len(records),
+            "sound": sum(1 for r in records.values() if r.get("sound")),
+            "unsound": sum(
+                1
+                for r in records.values()
+                if not r.get("sound") and not r.get("error")
+            ),
+            "errors": sum(1 for r in records.values() if r.get("error")),
+            "budget_violations": sum(
+                1 for r in records.values() if r.get("budget_ok") is False
+            ),
+            "max_tightness": max(finite, default=0.0),
+            "quarantined_rows": self.quarantined,
+        }
+        if extra:
+            summary.update(extra)
+        # Atomic replace: concurrent shard processes each rewrite the
+        # summary as they finish, and a reader (or a racing writer)
+        # must never observe a truncated file.
+        tmp = self.summary_path.with_name(
+            f".{self.SUMMARY}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(json.dumps(summary, indent=2) + "\n")
+        os.replace(tmp, self.summary_path)
+        return summary
+
+
+# ----------------------------------------------------------------------
+# JSONL backend
+# ----------------------------------------------------------------------
+class JsonlResultStore(ResultStore):
+    """Append-only JSONL store under one campaign directory.
+
+    Three files: ``results.jsonl`` (the source of truth),
+    ``quarantine.jsonl`` (lines that failed to parse -- torn writes,
+    manual edits), ``summary.json``.  Single-writer by design; use the
+    SQLite backend (or per-shard JSONL stores plus ``merge_stores``)
+    for concurrent writers.
+    """
 
     RESULTS = "results.jsonl"
     QUARANTINE = "quarantine.jsonl"
-    SUMMARY = "summary.json"
+
+    kind = "jsonl"
 
     def __init__(self, root: Union[str, Path]):
+        root = str(root)
+        if root.startswith("jsonl:"):
+            root = root[len("jsonl:"):]
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        #: Number of corrupt lines moved aside by the last :meth:`load`.
         self.quarantined = 0
 
     @property
@@ -140,30 +330,20 @@ class ResultStore:
     def quarantine_path(self) -> Path:
         return self.root / self.QUARANTINE
 
-    @property
-    def summary_path(self) -> Path:
-        return self.root / self.SUMMARY
-
     # -- writing ---------------------------------------------------------
     def append(self, record: Mapping[str, Any]) -> None:
-        """Append one cell record (must carry a ``key``)."""
-        if "key" not in record:
-            raise ValueError("a cell record needs a 'key'")
-        rec = {"v": SCHEMA_VERSION, **record}
         with self.results_path.open("a") as fh:
-            fh.write(_canonical_json(rec) + "\n")
+            fh.write(_canonical_json(self._stamp(record)) + "\n")
 
     def append_many(self, records: Iterable[Mapping[str, Any]]) -> None:
-        for rec in records:
-            self.append(rec)
+        lines = [_canonical_json(self._stamp(rec)) + "\n" for rec in records]
+        if not lines:
+            return
+        with self.results_path.open("a") as fh:
+            fh.write("".join(lines))
 
     # -- reading ---------------------------------------------------------
     def load(self) -> dict[str, dict[str, Any]]:
-        """All valid records keyed by cell key (last record wins).
-
-        Unparseable or keyless lines are moved to ``quarantine.jsonl``
-        and counted in :attr:`quarantined` -- never raised.
-        """
         self.quarantined = 0
         records: dict[str, dict[str, Any]] = {}
         if not self.results_path.exists():
@@ -190,46 +370,85 @@ class ResultStore:
             )
         return records
 
-    def completed_keys(self) -> set[str]:
-        """Keys of cells whose evaluation finished without a crash."""
-        return {
-            key
-            for key, rec in self.load().items()
-            if not rec.get("error")
-        }
 
-    # -- summary ---------------------------------------------------------
-    def write_summary(self, extra: Optional[Mapping[str, Any]] = None) -> dict:
-        """Aggregate the store into ``summary.json`` (and return it)."""
-        records = self.load()
-        finite = [
-            r["tightness"]
-            for r in records.values()
-            if isinstance(r.get("tightness"), (int, float))
-        ]
-        summary = {
-            "v": SCHEMA_VERSION,
-            "cells": len(records),
-            "sound": sum(1 for r in records.values() if r.get("sound")),
-            "unsound": sum(
-                1
-                for r in records.values()
-                if not r.get("sound") and not r.get("error")
-            ),
-            "errors": sum(1 for r in records.values() if r.get("error")),
-            "budget_violations": sum(
-                1 for r in records.values() if r.get("budget_ok") is False
-            ),
-            "max_tightness": max(finite, default=0.0),
-            "wall_time_total": sum(
-                float(r.get("wall_time", 0.0)) for r in records.values()
-            ),
-            "quarantined_lines": self.quarantined,
-        }
-        if extra:
-            summary.update(extra)
-        self.summary_path.write_text(json.dumps(summary, indent=2) + "\n")
-        return summary
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+def open_store(
+    target: Union[str, Path, "ResultStore"], *, must_exist: bool = False
+) -> "ResultStore":
+    """Open a result store from an instance, a URL, or a directory.
+
+    * a :class:`ResultStore` instance is returned as-is;
+    * ``sqlite:DIR`` / ``jsonl:DIR`` URLs force the named backend;
+    * a bare path is auto-detected by the files already present
+      (``results.sqlite`` -> SQLite, otherwise JSONL) -- so resuming or
+      diffing an existing store never needs the URL spelled out.
+
+    ``must_exist=True`` refuses to open a target with no results file
+    on disk (``FileNotFoundError``) instead of silently creating an
+    empty store.  Anything consumed as a *reference* -- a pinned
+    baseline, a diff side, a curation or merge source -- should pass
+    it: a typo'd path must fail the gate loudly, never pass it by
+    comparing against nothing.
+    """
+    if isinstance(target, ResultStore):
+        return target
+    from repro.runtime.store_sqlite import SqliteResultStore
+
+    spec = str(target)
+    if spec.startswith("sqlite:"):
+        cls, root = SqliteResultStore, Path(spec[len("sqlite:"):])
+    elif spec.startswith("jsonl:"):
+        cls, root = JsonlResultStore, Path(spec[len("jsonl:"):])
+    elif (Path(spec) / SqliteResultStore.RESULTS).exists():
+        cls, root = SqliteResultStore, Path(spec)
+    else:
+        cls, root = JsonlResultStore, Path(spec)
+    # A store that never appended a record still writes summary.json
+    # (a shard can legitimately own zero cells), so either file counts
+    # as evidence of a real store.  Checked before construction: the
+    # constructor would mkdir the (possibly typo'd) directory, and a
+    # reference store must never be conjured empty.
+    if must_exist and not (
+        (root / cls.RESULTS).exists() or (root / cls.SUMMARY).exists()
+    ):
+        raise FileNotFoundError(
+            f"no result store at {spec!r} (missing {root / cls.RESULTS})"
+        )
+    return cls(root)
+
+
+def merge_stores(
+    dest: Union[str, Path, ResultStore],
+    sources: Sequence[Union[str, Path, ResultStore]] = (),
+) -> dict:
+    """Merge source stores into ``dest`` and rewrite its summary.
+
+    Records are merged key-sorted with later sources winning ties, so a
+    merge of disjoint campaign shards (the sharded-run layout) is fully
+    deterministic regardless of source completion order.  With no
+    sources this is a pure summary refresh -- the documented last step
+    after concurrent shards finish filling one shared store.
+
+    Backends may differ freely: JSONL shards can merge into a SQLite
+    store and vice versa.  Returns the rewritten summary.
+    """
+    dest_store = open_store(dest)
+    merged: dict[str, dict[str, Any]] = {}
+    for src in sources:
+        src_store = open_store(src)
+        if (
+            src_store.root.resolve() == dest_store.root.resolve()
+            and src_store.kind == dest_store.kind
+        ):
+            raise ValueError(f"cannot merge store {src!r} into itself")
+        merged.update(src_store.load())
+    if merged:
+        dest_store.append_many(
+            merged[key] for key in sorted(merged)
+        )
+    return dest_store.write_summary()
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +466,25 @@ class CampaignDiff:
 
     @property
     def clean(self) -> bool:
+        """No soundness or perf-budget regression (the CI gate)."""
         return not self.regressions and not self.budget_regressions
+
+    def gate(self, *, strict: bool = False) -> bool:
+        """The baseline-gate verdict: ``clean``, and under ``strict``
+        additionally no baseline cells missing from the candidate
+        (coverage loss is a regression too)."""
+        return self.clean and (not strict or not self.removed)
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``scenarios diff --json``)."""
+        return {
+            "clean": self.clean,
+            "regressions": list(self.regressions),
+            "fixes": list(self.fixes),
+            "budget_regressions": list(self.budget_regressions),
+            "added": list(self.added),
+            "removed": list(self.removed),
+        }
 
     def summary_lines(self) -> list[str]:
         lines = [
@@ -297,7 +534,6 @@ def diff_records(
 def diff_stores(
     old: Union[str, Path, ResultStore], new: Union[str, Path, ResultStore]
 ) -> CampaignDiff:
-    """Diff two campaign directories (or stores)."""
-    old_store = old if isinstance(old, ResultStore) else ResultStore(old)
-    new_store = new if isinstance(new, ResultStore) else ResultStore(new)
-    return diff_records(old_store.load(), new_store.load())
+    """Diff two campaign stores (paths, URLs, or instances; backends
+    may differ -- the diff is over records, not files)."""
+    return diff_records(open_store(old).load(), open_store(new).load())

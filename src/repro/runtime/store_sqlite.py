@@ -1,0 +1,158 @@
+"""SQLite result-store backend: safe concurrent writers for campaigns.
+
+The JSONL backend is single-writer: two processes appending to one
+``results.jsonl`` can interleave mid-line and tear records.  This
+backend keeps the exact store contract (records, last-write-wins keys,
+quarantine, deterministic ``summary.json``) on an SQLite file instead:
+
+* **WAL journal + busy timeout** -- readers never block writers and
+  concurrent writers serialise at commit granularity, so N campaign
+  shard processes (or hosts sharing a filesystem) fill one store
+  safely; ``append_many`` commits a whole batch of cells in one
+  transaction, which is also what makes ingest fast.
+* **content-hashed cell keys as primary keys** -- ``INSERT OR
+  REPLACE`` gives the JSONL backend's duplicate-key semantics (the
+  last record for a key wins) directly in the schema.
+* **corrupt-row quarantine parity** -- record payloads are stored as
+  canonical JSON text; a row whose payload no longer parses (manual
+  edits, partial restores) is moved to a ``quarantine`` table on
+  :meth:`load`, counted, and never raised -- the same recovery story
+  as ``quarantine.jsonl``.
+
+The JSON-text payload keeps the two backends bit-compatible: a record
+round-trips through either backend to the identical Python dict
+(non-finite floats included), so summaries, diffs, and merges never
+see which backend held the data.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Union
+
+from repro.runtime.store import ResultStore, _canonical_json
+
+__all__ = ["SqliteResultStore"]
+
+#: Milliseconds a writer waits on a locked database before erroring;
+#: generous because shard processes commit whole campaign batches.
+BUSY_TIMEOUT_MS = 30_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key    TEXT PRIMARY KEY,
+    v      INTEGER NOT NULL,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    line TEXT NOT NULL
+);
+"""
+
+
+class SqliteResultStore(ResultStore):
+    """WAL-mode SQLite store under one campaign directory.
+
+    Two files: ``results.sqlite`` (records + quarantine tables) and the
+    shared ``summary.json``.  Open one instance per process; SQLite's
+    locking makes cross-process writes safe, and every operation here
+    is a single transaction.
+    """
+
+    RESULTS = "results.sqlite"
+
+    kind = "sqlite"
+
+    def __init__(self, root: Union[str, Path]):
+        root = str(root)
+        if root.startswith("sqlite:"):
+            root = root[len("sqlite:"):]
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0
+        self._conn: sqlite3.Connection | None = None
+
+    @property
+    def db_path(self) -> Path:
+        return self.root / self.RESULTS
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            conn = sqlite3.connect(self.db_path, timeout=BUSY_TIMEOUT_MS / 1000)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- writing ---------------------------------------------------------
+    @staticmethod
+    def _row(record: Mapping[str, Any]) -> tuple[str, int, str]:
+        rec = ResultStore._stamp(record)
+        return (str(rec["key"]), int(rec["v"]), _canonical_json(rec))
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self.append_many([record])
+
+    def append_many(self, records: Iterable[Mapping[str, Any]]) -> None:
+        rows = [self._row(rec) for rec in records]
+        if not rows:
+            return
+        conn = self._connect()
+        with conn:  # one transaction per batch, however large
+            conn.executemany(
+                "INSERT OR REPLACE INTO results (key, v, record) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+
+    # -- reading ---------------------------------------------------------
+    def load(self) -> dict[str, dict[str, Any]]:
+        self.quarantined = 0
+        if not self.db_path.exists():
+            return {}
+        conn = self._connect()
+        records: dict[str, dict[str, Any]] = {}
+        bad: list[tuple[str, str]] = []  # (key, raw payload)
+        for key, raw in conn.execute(
+            "SELECT key, record FROM results ORDER BY rowid"
+        ):
+            try:
+                rec = json.loads(raw)
+                rec_key = rec["key"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                bad.append((key, raw))
+                continue
+            records[str(rec_key)] = rec
+        if bad:
+            self.quarantined = len(bad)
+            with conn:
+                conn.executemany(
+                    "INSERT INTO quarantine (line) VALUES (?)",
+                    [(raw,) for _, raw in bad],
+                )
+                conn.executemany(
+                    "DELETE FROM results WHERE key = ?",
+                    [(key,) for key, _ in bad],
+                )
+        return records
+
+    def quarantine_lines(self) -> list[str]:
+        """Raw payloads moved aside so far (parity with ``quarantine.jsonl``)."""
+        if not self.db_path.exists():
+            return []
+        return [
+            line
+            for (line,) in self._connect().execute(
+                "SELECT line FROM quarantine ORDER BY rowid"
+            )
+        ]

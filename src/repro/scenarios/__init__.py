@@ -62,7 +62,12 @@ of the matrix in tier-1; the full matrix runs opt-in via
 ``pytest -m scenario``.
 """
 
-from repro.scenarios.corpus import adversarial_corpus
+from repro.scenarios.corpus import (
+    adversarial_corpus,
+    curate_records,
+    load_curated,
+    save_curated,
+)
 from repro.scenarios.generator import generate_scenarios
 from repro.scenarios.runner import (
     BatchReport,
@@ -75,6 +80,7 @@ from repro.scenarios.spec import (
     get_scenario,
     register_scenario,
     registered_scenarios,
+    scenario_from_dict,
     scenario_names,
 )
 
@@ -83,12 +89,16 @@ __all__ = [
     "ScenarioOutcome",
     "BatchReport",
     "adversarial_corpus",
+    "curate_records",
     "generate_scenarios",
+    "load_curated",
     "run_batch",
     "run_scenario",
     "register_scenario",
     "get_scenario",
     "registered_scenarios",
+    "save_curated",
+    "scenario_from_dict",
     "scenario_names",
 ]
 

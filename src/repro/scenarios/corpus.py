@@ -21,14 +21,36 @@ reproductions the hardest:
   to pin the vacuous-soundness path of the batch runner.
 
 Importing :mod:`repro.scenarios` registers the corpus.
+
+Store-driven curation
+---------------------
+The hand-picked corpus above is static; campaigns generate thousands
+of cells and record each one's *tightness* (measured / bound).  Cells
+with tightness near 1 are exactly the adversarial configurations worth
+keeping, so :func:`curate_records` promotes them from any result store
+(v2 records carry the full spec), :func:`save_curated` /
+:func:`load_curated` round-trip the promoted set through a JSON corpus
+file, and ``scenarios curate`` / ``scenarios run --corpus FILE`` drive
+the loop from the shell: sweep, promote, and re-run the promoted cells
+as a standing regression corpus.
 """
 
 from __future__ import annotations
 
-from repro.core.delay_bounds import theorem5_band
-from repro.scenarios.spec import Scenario
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-__all__ = ["adversarial_corpus"]
+from repro.core.delay_bounds import theorem5_band
+from repro.scenarios.spec import Scenario, scenario_from_dict
+
+__all__ = [
+    "adversarial_corpus",
+    "curate_records",
+    "save_curated",
+    "load_curated",
+]
 
 
 def _heavy_band_utilization(k: int, n: int) -> float:
@@ -218,3 +240,92 @@ def adversarial_corpus() -> tuple[Scenario, ...]:
         ),
     ]
     return tuple(scenarios)
+
+
+# ----------------------------------------------------------------------
+# Store-driven curation
+# ----------------------------------------------------------------------
+def curate_records(
+    records: Iterable[Mapping[str, Any]],
+    *,
+    min_tightness: float = 0.9,
+    limit: Optional[int] = None,
+) -> list[Scenario]:
+    """Promote store records with tightness close to 1 into scenarios.
+
+    Selects sound, error-free records whose finite tightness
+    (measured / bound) reaches ``min_tightness``, rebuilds their specs
+    (v2 records carry the full spec; v1 records without one are
+    skipped), and returns them sorted tightest-first, deduplicated by
+    name, capped at ``limit``.
+
+    Promoted specs are returned **unchanged**: every spec field (tags
+    included) enters ``cell_key``/``spec_fingerprint``, so any
+    decoration would re-key the cell -- re-running a curated corpus
+    against the store it came from must resume/diff/shard in perfect
+    alignment with the original records.
+
+    Unstable and error cells can never be promoted: their tightness is
+    recorded as 0, and a malformed spec is skipped rather than raised
+    (curation runs over real, possibly hand-edited stores).
+    """
+    if not 0.0 < min_tightness:
+        raise ValueError(f"min_tightness must be > 0, got {min_tightness}")
+    if limit is not None and limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    candidates: list[tuple[float, Mapping[str, Any]]] = []
+    for rec in records:
+        if not isinstance(rec, Mapping) or rec.get("error"):
+            continue
+        if not rec.get("sound"):
+            continue
+        tightness = rec.get("tightness")
+        if not isinstance(tightness, (int, float)):
+            continue
+        tightness = float(tightness)
+        if not (tightness == tightness and tightness >= min_tightness):
+            continue
+        if not isinstance(rec.get("spec"), Mapping):
+            continue  # v1 record: no spec to re-materialise
+        candidates.append((tightness, rec))
+    candidates.sort(key=lambda pair: -pair[0])
+    promoted: list[Scenario] = []
+    seen: set[str] = set()
+    for tightness, rec in candidates:
+        try:
+            sc = scenario_from_dict(dict(rec["spec"]))
+        except (TypeError, ValueError):
+            continue  # drifted or hand-edited spec: skip, never raise
+        if sc.name in seen:
+            continue
+        seen.add(sc.name)
+        promoted.append(sc)
+        if limit is not None and len(promoted) >= limit:
+            break
+    return promoted
+
+
+def save_curated(
+    scenarios: Sequence[Scenario], path: Union[str, Path]
+) -> Path:
+    """Write a curated corpus file (JSON, one spec per scenario)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "v": 1,
+        "scenarios": [dataclasses.asdict(sc) for sc in scenarios],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_curated(path: Union[str, Path]) -> tuple[Scenario, ...]:
+    """Load a curated corpus file back into validated scenarios."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "scenarios" not in payload:
+        raise ValueError(
+            f"curated corpus {path} must be a JSON object with 'scenarios'"
+        )
+    return tuple(
+        scenario_from_dict(spec) for spec in payload["scenarios"]
+    )

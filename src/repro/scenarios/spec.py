@@ -43,6 +43,7 @@ __all__ = [
     "BACKENDS",
     "SCENARIO_MODES",
     "Scenario",
+    "scenario_from_dict",
     "register_scenario",
     "get_scenario",
     "registered_scenarios",
@@ -264,6 +265,40 @@ class Scenario:
             if ctrl.select_mode() is ControlMode.SIGMA_RHO
             else "sigma-rho-lambda"
         )
+
+
+#: Scenario fields serialised as JSON arrays that the dataclass holds
+#: as tuples (JSON round-trips lose the distinction).
+_TUPLE_FIELDS = ("kinds", "start_offsets", "tags")
+
+
+def scenario_from_dict(payload: dict) -> Scenario:
+    """Rebuild a :class:`Scenario` from its ``dataclasses.asdict`` form.
+
+    The inverse of the ``spec`` field stored in campaign records
+    (:func:`repro.runtime.campaign.outcome_record`): JSON arrays are
+    restored to the tuples the frozen dataclass expects, unknown keys
+    are rejected (a spec that drifted past this code version must not
+    silently drop fields), and full ``__post_init__`` validation runs.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"scenario payload must be a dict, got {type(payload).__name__}"
+        )
+    from dataclasses import fields as dc_fields
+
+    known = {f.name for f in dc_fields(Scenario)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(
+            f"scenario payload has unknown keys {unknown}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    kwargs = dict(payload)
+    for name in _TUPLE_FIELDS:
+        if name in kwargs and isinstance(kwargs[name], list):
+            kwargs[name] = tuple(kwargs[name])
+    return Scenario(**kwargs)
 
 
 # ----------------------------------------------------------------------

@@ -136,6 +136,178 @@ class TestScenariosRuntime:
         with pytest.raises(SystemExit):
             main(["scenarios", "run", "--count", "2", "--resume"])
 
+    def test_sqlite_store_url(self, capsys, tmp_path):
+        store = f"sqlite:{tmp_path / 'camp'}"
+        argv = ["scenarios", "run", "--count", "4", "--seed", "3",
+                "--no-corpus", "--store", store]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[sqlite]" in out and "4 records" in out
+        assert (tmp_path / "camp" / "results.sqlite").exists()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "cells skipped (already in store): 4" in out
+
+    def test_sharded_runs_fill_one_store(self, capsys, tmp_path):
+        store = f"sqlite:{tmp_path / 'camp'}"
+        base = ["scenarios", "run", "--count", "6", "--seed", "3",
+                "--no-corpus", "--store", store]
+        assert main(base + ["--shard", "1/2"]) == 0
+        assert "(shard 1/2)" in capsys.readouterr().out
+        assert main(base + ["--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "merge", store]) == 0
+        out = capsys.readouterr().out
+        assert "refreshed summary" in out and "cells: 6" in out
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "2", "--shard", "0/2"])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "2", "--shard", "junk"])
+
+    def test_merge_joins_shard_stores(self, capsys, tmp_path):
+        from repro.runtime import ResultStore
+
+        ResultStore(tmp_path / "s1").append({"key": "aa", "sound": True})
+        ResultStore(tmp_path / "s2").append({"key": "bb", "sound": True})
+        assert main(
+            ["scenarios", "merge", str(tmp_path / "all"),
+             str(tmp_path / "s1"), str(tmp_path / "s2")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard store(s)" in out and "cells: 2" in out
+
+    def test_baseline_gate_passes_and_fails(self, capsys, tmp_path):
+        base = ["scenarios", "run", "--count", "4", "--seed", "5",
+                "--no-corpus"]
+        assert main(base + ["--store", str(tmp_path / "pinned")]) == 0
+        capsys.readouterr()
+        # Same matrix against the pinned baseline: gate passes.
+        assert main(
+            base + ["--store", str(tmp_path / "cand"),
+                    "--baseline", str(tmp_path / "pinned")]
+        ) == 0
+        assert "Baseline gate" in capsys.readouterr().out
+        # Poison the candidate store: gate fails even though the run
+        # itself was clean.
+        from repro.runtime import open_store
+
+        cand = open_store(tmp_path / "cand2")
+        pinned = open_store(tmp_path / "pinned")
+        for key, rec in pinned.load().items():
+            cand.append({**rec, "sound": False})
+        assert main(
+            ["scenarios", "run", "--count", "1", "--seed", "5", "--no-corpus",
+             "--store", str(tmp_path / "cand2"),
+             "--baseline", str(tmp_path / "pinned")]
+        ) == 1
+
+    def test_baseline_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "2",
+                  "--baseline", "somewhere"])
+
+    def test_typoed_reference_stores_fail_loudly(self, tmp_path):
+        """A missing baseline/diff/curate store must error, never pass
+        the gate by comparing against a conjured empty store."""
+        from repro.runtime import ResultStore
+
+        real = tmp_path / "real"
+        ResultStore(real).append({"key": "aa", "sound": True})
+        typo = str(tmp_path / "pined")
+        with pytest.raises(SystemExit):
+            main(["scenarios", "diff", typo, str(real)])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "diff", str(real), typo])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "curate", typo])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "merge", str(tmp_path / "dest"), typo])
+        with pytest.raises(SystemExit):
+            # Fails before the campaign runs, not after.
+            main(["scenarios", "run", "--count", "2", "--no-corpus",
+                  "--store", str(tmp_path / "cand"), "--baseline", typo])
+        assert not (tmp_path / "pined").exists()  # no conjured store
+
+    def test_shard_extra_segments_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "2", "--shard", "1/2/3"])
+
+    def test_missing_corpus_file_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--count", "0", "--no-corpus",
+                  "--corpus", "no-such-corpus.json"])
+
+    def test_budget_applies_to_corpus_cells(self, capsys, tmp_path):
+        store = str(tmp_path / "camp")
+        assert main(
+            ["scenarios", "run", "--count", "3", "--seed", "3",
+             "--no-corpus", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        corpus = tmp_path / "curated.json"
+        assert main(
+            ["scenarios", "curate", store, "--min-tightness", "0.05",
+             "--limit", "2", "--out", str(corpus)]
+        ) == 0
+        capsys.readouterr()
+        # An impossible budget must verdict the curated cells too.
+        assert main(
+            ["scenarios", "run", "--count", "0", "--no-corpus",
+             "--corpus", str(corpus), "--budget", "1e-9"]
+        ) == 1
+        assert "perf-budget violations: 2" in capsys.readouterr().out
+
+    def test_diff_strict_flags_removed_cells(self, capsys, tmp_path):
+        from repro.runtime import ResultStore
+
+        old, new = tmp_path / "old", tmp_path / "new"
+        ResultStore(old).append({"key": "aa", "sound": True})
+        ResultStore(old).append({"key": "gone", "sound": True})
+        ResultStore(new).append({"key": "aa", "sound": True})
+        assert main(["scenarios", "diff", str(old), str(new)]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "diff", str(old), str(new), "--strict"]) == 1
+        assert "baseline cells missing" in capsys.readouterr().out
+
+    def test_diff_json_output(self, capsys, tmp_path):
+        import json
+
+        from repro.runtime import ResultStore
+
+        old, new = tmp_path / "old", tmp_path / "new"
+        ResultStore(old).append({"key": "aa", "sound": True})
+        ResultStore(new).append({"key": "aa", "sound": False})
+        report = tmp_path / "diff.json"
+        assert main(
+            ["scenarios", "diff", str(old), str(new), "--json", str(report)]
+        ) == 1
+        payload = json.loads(report.read_text())
+        assert payload["regressions"] == ["aa"]
+
+    def test_curate_promotes_and_reruns(self, capsys, tmp_path):
+        store = str(tmp_path / "camp")
+        assert main(
+            ["scenarios", "run", "--count", "6", "--seed", "3",
+             "--no-corpus", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        corpus = tmp_path / "curated.json"
+        assert main(
+            ["scenarios", "curate", store, "--min-tightness", "0.05",
+             "--limit", "2", "--out", str(corpus)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "promoted 2 cells" in out
+        assert corpus.exists()
+        # The promoted corpus feeds straight back into a run.
+        assert main(
+            ["scenarios", "run", "--count", "0", "--no-corpus",
+             "--corpus", str(corpus)]
+        ) == 0
+        assert "scenarios evaluated: 2" in capsys.readouterr().out
+
     def test_budget_flag_flags_slow_cells(self, capsys):
         assert main(
             ["scenarios", "run", "--count", "3", "--seed", "3",

@@ -101,6 +101,60 @@ def test_fit_ignores_unusable_records():
     assert model.coefficients == CellCostModel().coefficients
 
 
+def test_fit_empty_store_keeps_prior():
+    prior = CellCostModel(coefficients={"des": 1.0}, variance={"des": 0.5})
+    fitted = CellCostModel.fit([], base=prior)
+    assert fitted.coefficients == {"des": 1.0}
+    assert fitted.variance == {"des": 0.5}
+
+
+def test_fit_guards_nonfinite_wall_clocks():
+    """NaN/inf wall clocks (error cells, clock glitches) must never
+    poison a coefficient -- the degenerate-refit guard."""
+    records = [
+        {"backend": "des", "horizon": 2.0, "k": 3, "hops": 1,
+         "wall_time": wall}
+        for wall in (float("nan"), float("inf"), -1.0, None, "fast")
+    ]
+    fitted = CellCostModel.fit(records)
+    assert fitted.coefficients == CellCostModel().coefficients
+    assert all(np.isfinite(c) for c in fitted.coefficients.values())
+
+
+def test_fit_guards_degenerate_feature_columns():
+    """Zero/non-finite workloads (the ratio model's singular or constant
+    feature column) are skipped; a usable record still fits."""
+    records = [
+        # Negative horizon -> non-positive workload: the constant/
+        # singular-column analogue of the ratio model.
+        {"backend": "des", "horizon": -1.0, "k": 3, "wall_time": 0.5},
+        # non-finite feature -> non-finite workload.
+        {"backend": "des", "horizon": float("inf"), "k": 3, "wall_time": 0.5},
+        {"backend": "des", "horizon": float("nan"), "k": 3, "wall_time": 0.5},
+    ]
+    fitted = CellCostModel.fit(records)
+    assert fitted.coefficients == CellCostModel().coefficients
+    # Mixing in one clean record fits from that record alone.
+    from repro.runtime.cost import _spec_features
+
+    sc = _cell(backend="des", horizon=2.0)
+    _, workload = _spec_features(sc)
+    records.append(
+        {"backend": "des", "horizon": 2.0, "k": sc.k, "hops": 1,
+         "tree_members": 0, "dt": sc.dt, "wall_time": 3e-6 * workload}
+    )
+    refit = CellCostModel.fit(records)
+    assert refit.coefficients["des"] == pytest.approx(3e-6)
+
+
+def test_fit_never_produces_nonpositive_coefficients():
+    fitted = CellCostModel.fit(
+        [{"backend": "des", "horizon": 2.0, "k": 3, "wall_time": 1e-300},
+         {"backend": "des", "horizon": 2.0, "k": 3, "wall_time": 1.0}]
+    )
+    assert all(c > 0 for c in fitted.coefficients.values())
+
+
 # ----------------------------------------------------------------------
 # Chunk planning
 # ----------------------------------------------------------------------

@@ -1,0 +1,235 @@
+"""Campaign sharding: fingerprint partitioning, concurrent shard runs.
+
+The acceptance contract of the sharded runtime: a campaign split
+``--shard 1/N .. N/N`` across independent OS processes against one
+SQLite store (or per-shard stores merged afterwards) must reproduce
+the serial single-process JSONL campaign exactly -- same records,
+byte-identical ``summary.json``, zero regressions under ``diff`` --
+and resume as a no-op.  The tier-1 versions run a small matrix; the
+full ``examples/campaign_thousand.json`` variant is opt-in via
+``-m scenario``.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.runtime import (
+    JsonlResultStore,
+    SqliteResultStore,
+    cell_key,
+    diff_stores,
+    merge_stores,
+    parse_shard,
+    run_campaign,
+    shard_scenarios,
+)
+from repro.scenarios import generate_scenarios
+
+pytestmark = pytest.mark.runtime
+
+N_CELLS = 16
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return generate_scenarios(N_CELLS, seed=7, horizon=0.6)
+
+
+class TestShardSpec:
+    def test_parse_shard_one_based(self):
+        assert parse_shard("1/2") == (0, 2)
+        assert parse_shard("2/2") == (1, 2)
+        assert parse_shard(None) is None
+        assert parse_shard((1, 4)) == (1, 4)
+
+    @pytest.mark.parametrize(
+        "bad", ["0/2", "3/2", "1", "a/b", "1/0", "-1/2", "1/2/3", "1/2/junk"]
+    )
+    def test_parse_shard_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard(bad)
+
+    def test_parse_shard_rejects_bad_tuple(self):
+        with pytest.raises(ValueError):
+            parse_shard((2, 2))
+
+    def test_shards_partition_the_matrix(self, matrix):
+        total = 3
+        shards = [
+            shard_scenarios(matrix, (i, total)) for i in range(total)
+        ]
+        names = [sc.name for shard in shards for sc in shard]
+        assert sorted(names) == sorted(sc.name for sc in matrix)
+        assert len(names) == len(set(names))  # disjoint
+
+    def test_shard_assignment_ignores_order_and_seed(self, matrix):
+        shuffled = list(reversed(matrix))
+        a = {sc.name for sc in shard_scenarios(matrix, "1/2")}
+        b = {sc.name for sc in shard_scenarios(shuffled, "1/2")}
+        assert a == b
+
+    def test_single_shard_is_identity(self, matrix):
+        assert shard_scenarios(matrix, "1/1") == list(matrix)
+        assert shard_scenarios(matrix, None) == list(matrix)
+
+
+def _run_shard(n_cells: int, seed: int, horizon: float, store_url: str,
+               shard: str) -> None:
+    """Child-process entry: run one shard of the matrix into the store."""
+    scenarios = generate_scenarios(n_cells, seed=seed, horizon=horizon)
+    campaign = run_campaign(
+        scenarios, store=store_url, resume=True, shard=shard
+    )
+    assert campaign.clean
+
+
+def _run_config_shard(config_path: str, store_url: str, shard: str) -> None:
+    """Child-process entry: run one shard of a JSON campaign config."""
+    from repro.runtime import CampaignConfig, build_campaign
+
+    scenarios = build_campaign(CampaignConfig.from_file(config_path))
+    campaign = run_campaign(
+        scenarios, store=store_url, resume=True, shard=shard
+    )
+    assert campaign.clean
+
+
+def _run_concurrent_shards(store_url: str, total: int = 2):
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(
+            target=_run_shard,
+            args=(N_CELLS, 7, 0.6, store_url, f"{i + 1}/{total}"),
+        )
+        for i in range(total)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=300)
+        assert p.exitcode == 0
+
+
+class TestConcurrentShardedCampaign:
+    def test_two_shard_processes_match_serial_jsonl_run(
+        self, matrix, tmp_path
+    ):
+        """The acceptance contract at tier-1 scale: 2 concurrent shard
+        processes -> one SQLite store == serial JSONL run."""
+        serial = run_campaign(matrix, store=tmp_path / "serial")
+        assert serial.clean
+
+        store_url = f"sqlite:{tmp_path / 'sharded'}"
+        _run_concurrent_shards(store_url)
+        merge_stores(store_url)  # refresh summary over the union
+
+        sharded_store = SqliteResultStore(tmp_path / "sharded")
+        serial_store = JsonlResultStore(tmp_path / "serial")
+        assert set(sharded_store.load()) == {cell_key(sc) for sc in matrix}
+        # summary.json is byte-identical: the summary aggregates only
+        # content-derived verdicts, and outcomes are seed-deterministic.
+        assert (
+            sharded_store.summary_path.read_bytes()
+            == serial_store.summary_path.read_bytes()
+        )
+        # Record-level equality modulo the wall clock (the one
+        # legitimately run-dependent field).
+        serial_records = serial_store.load()
+        for key, rec in sharded_store.load().items():
+            ref = dict(serial_records[key])
+            got = dict(rec)
+            ref.pop("wall_time"), got.pop("wall_time")
+            assert got == ref
+        # And the baseline-diff gate agrees: zero regressions.
+        diff = diff_stores(tmp_path / "serial", store_url)
+        assert diff.clean and not diff.added and not diff.removed
+
+    def test_sharded_store_resumes_as_noop(self, matrix, tmp_path):
+        store_url = f"sqlite:{tmp_path / 'resume'}"
+        for shard in ("1/2", "2/2"):
+            first = run_campaign(
+                matrix, store=store_url, resume=True, shard=shard
+            )
+            assert first.skipped == 0 and first.clean
+        again = run_campaign(matrix, store=store_url, resume=True)
+        assert again.evaluated == 0
+        assert again.skipped == N_CELLS
+        assert again.clean
+
+    def test_per_shard_jsonl_stores_merge_to_serial(self, matrix, tmp_path):
+        """The no-shared-filesystem layout: one JSONL store per shard,
+        merged afterwards, equals the serial run."""
+        serial = run_campaign(matrix, store=tmp_path / "serial")
+        assert serial.clean
+        shard_dirs = []
+        for i in (1, 2):
+            shard_dir = tmp_path / f"shard{i}"
+            report = run_campaign(
+                matrix, store=shard_dir, shard=f"{i}/2"
+            )
+            assert report.clean
+            shard_dirs.append(shard_dir)
+        merge_stores(tmp_path / "merged", shard_dirs)
+        assert (
+            (tmp_path / "merged" / "summary.json").read_bytes()
+            == (tmp_path / "serial" / "summary.json").read_bytes()
+        )
+        assert diff_stores(tmp_path / "serial", tmp_path / "merged").clean
+
+    def test_interrupted_shard_resumes_where_it_stopped(self, matrix, tmp_path):
+        store_url = f"sqlite:{tmp_path / 'partial'}"
+        shard_cells = shard_scenarios(matrix, "1/2")
+        assert len(shard_cells) >= 2
+        # "Crash" after the first half of this shard's cells.
+        run_campaign(shard_cells[: len(shard_cells) // 2], store=store_url)
+        resumed = run_campaign(
+            matrix, store=store_url, resume=True, shard="1/2"
+        )
+        assert resumed.skipped == len(shard_cells) // 2
+        assert resumed.evaluated == len(shard_cells) - resumed.skipped
+
+
+@pytest.mark.scenario
+def test_thousand_cell_two_shard_acceptance(tmp_path):
+    """The full acceptance criterion: ``examples/campaign_thousand.json``
+    as 2 concurrent shard processes against one SQLite store, vs the
+    single-process JSONL run -- byte-identical summary, clean diff,
+    no-op resume.  Opt-in (``-m scenario``): this evaluates the 1024-cell
+    matrix twice."""
+    from repro.runtime import CampaignConfig, ProcessExecutor, build_campaign
+
+    config_path = os.path.join(os.path.dirname(__file__), "..",
+                               "examples", "campaign_thousand.json")
+    scenarios = build_campaign(CampaignConfig.from_file(config_path))
+    serial = run_campaign(
+        scenarios,
+        executor=ProcessExecutor(jobs=min(4, os.cpu_count() or 1)),
+        store=tmp_path / "serial",
+    )
+    assert serial.clean
+
+    store_url = f"sqlite:{tmp_path / 'sharded'}"
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(
+            target=_run_config_shard,
+            args=(config_path, store_url, f"{i}/2"),
+        )
+        for i in (1, 2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=3600)
+        assert p.exitcode == 0
+    merge_stores(store_url)
+    assert (
+        SqliteResultStore(tmp_path / "sharded").summary_path.read_bytes()
+        == JsonlResultStore(tmp_path / "serial").summary_path.read_bytes()
+    )
+    diff = diff_stores(tmp_path / "serial", store_url)
+    assert diff.clean and not diff.added and not diff.removed
+    again = run_campaign(scenarios, store=store_url, resume=True)
+    assert again.evaluated == 0 and again.skipped == len(scenarios)

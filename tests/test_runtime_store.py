@@ -1,9 +1,11 @@
-"""The persistent result store: keys, resume, corruption, diffing.
+"""The pluggable result store: keys, backends, resume, corruption, diffing.
 
 The store is the campaign's memory: content-hashed keys make resume
-and cross-campaign diffing order-independent, and a half-written line
-(killed campaign, manual edit) must quarantine rather than kill the
-next run.
+and cross-campaign diffing order-independent, and a corrupt row (torn
+JSONL write, hand-edited SQLite payload) must quarantine rather than
+kill the next run.  The backend-parametrised classes here pin the
+contract both backends share; concurrency-specific coverage lives in
+``test_runtime_store_sqlite.py``.
 """
 
 import json
@@ -11,15 +13,26 @@ import json
 import pytest
 
 from repro.runtime.store import (
+    JsonlResultStore,
     ResultStore,
     cell_key,
     diff_records,
     diff_stores,
+    fingerprint_shard,
+    merge_stores,
+    open_store,
     spec_fingerprint,
 )
+from repro.runtime.store_sqlite import SqliteResultStore
 from repro.scenarios.spec import Scenario
 
 pytestmark = pytest.mark.runtime
+
+BACKENDS = ("jsonl", "sqlite")
+
+
+def _make_store(kind: str, root) -> ResultStore:
+    return open_store(f"{kind}:{root}")
 
 
 def _sc(**kw):
@@ -64,38 +77,149 @@ class TestKeys:
         assert cell_key(plain) == cell_key(budgeted)
         assert spec_fingerprint(plain) == spec_fingerprint(budgeted)
 
+    def test_fingerprint_shard_is_a_partition(self):
+        fps = [spec_fingerprint(_sc(name=f"c{i}")) for i in range(40)]
+        shards = [fingerprint_shard(fp, 4) for fp in fps]
+        assert set(shards) <= set(range(4))
+        assert len(set(shards)) > 1  # actually spreads
+        # Deterministic, and independent of the shard the caller asks for.
+        assert shards == [fingerprint_shard(fp, 4) for fp in fps]
+        with pytest.raises(ValueError):
+            fingerprint_shard(fps[0], 0)
 
-class TestStoreRoundtrip:
-    def test_append_load(self, tmp_path):
+
+class TestFactory:
+    def test_base_class_dispatches_jsonl_default(self, tmp_path):
         store = ResultStore(tmp_path / "camp")
+        assert isinstance(store, JsonlResultStore)
+        assert store.kind == "jsonl"
+
+    def test_url_schemes_force_backends(self, tmp_path):
+        assert isinstance(
+            open_store(f"jsonl:{tmp_path / 'j'}"), JsonlResultStore
+        )
+        assert isinstance(
+            open_store(f"sqlite:{tmp_path / 's'}"), SqliteResultStore
+        )
+        assert isinstance(
+            ResultStore(f"sqlite:{tmp_path / 's2'}"), SqliteResultStore
+        )
+
+    def test_bare_path_autodetects_existing_sqlite(self, tmp_path):
+        sq = open_store(f"sqlite:{tmp_path / 'camp'}")
+        sq.append(_rec("aa"))
+        reopened = open_store(tmp_path / "camp")
+        assert isinstance(reopened, SqliteResultStore)
+        assert set(reopened.load()) == {"aa"}
+
+    def test_instances_pass_through(self, tmp_path):
+        store = open_store(tmp_path)
+        assert open_store(store) is store
+
+    def test_base_class_requires_target(self):
+        with pytest.raises(TypeError):
+            ResultStore()
+
+    def test_base_class_rejects_instances(self, tmp_path):
+        """ResultStore(instance) would re-run the instance's __init__
+        (type.__call__ semantics); open_store is the pass-through."""
+        store = open_store(tmp_path)
+        with pytest.raises(TypeError, match="open_store"):
+            ResultStore(store)
+        assert store.root == tmp_path  # untouched
+
+    def test_must_exist_refuses_missing_stores(self, tmp_path):
+        missing = tmp_path / "typo"
+        with pytest.raises(FileNotFoundError):
+            open_store(missing, must_exist=True)
+        with pytest.raises(FileNotFoundError):
+            open_store(f"sqlite:{missing}", must_exist=True)
+        # And it must not have conjured the directory while checking.
+        assert not missing.exists()
+        # A real store (even an empty-but-initialised one) opens fine.
+        open_store(tmp_path / "real").append(_rec("aa"))
+        assert open_store(tmp_path / "real", must_exist=True).load()
+
+    def test_must_exist_accepts_zero_record_shard_store(self, tmp_path):
+        """A shard that owns zero cells writes only summary.json; that
+        store is real and must pass the reference check (the merge/diff
+        steps of the sharded workflow see it)."""
+        empty = open_store(tmp_path / "empty-shard")
+        empty.append_many([])           # no results file created...
+        empty.write_summary()           # ...but the summary always is
+        reopened = open_store(tmp_path / "empty-shard", must_exist=True)
+        assert reopened.load() == {}
+        # And the merge workflow digests it without complaint.
+        full = open_store(tmp_path / "full")
+        full.append(_rec("aa"))
+        summary = merge_stores(
+            tmp_path / "all", [tmp_path / "empty-shard", tmp_path / "full"]
+        )
+        assert summary["cells"] == 1
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestStoreRoundtrip:
+    def test_append_load(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path / "camp")
         store.append(_rec("aa"))
         store.append(_rec("bb", sound=False))
         records = store.load()
         assert set(records) == {"aa", "bb"}
         assert records["bb"]["sound"] is False
-        assert records["aa"]["v"] == 1
+        assert records["aa"]["v"] == 2
 
-    def test_nonfinite_floats_survive(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_nonfinite_floats_survive(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
         store.append({"key": "inf", "bound": float("inf"), "measured": float("nan")})
         rec = store.load()["inf"]
         assert rec["bound"] == float("inf")
         assert rec["measured"] != rec["measured"]  # NaN
 
-    def test_last_record_wins(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_last_record_wins(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
         store.append(_rec("aa", sound=False))
         store.append(_rec("aa", sound=True))
         assert store.load()["aa"]["sound"] is True
 
-    def test_keyless_record_rejected_on_write(self, tmp_path):
+    def test_append_many_batches(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
+        store.append_many(_rec(f"k{i:02d}") for i in range(20))
+        assert len(store.load()) == 20
+
+    def test_keyless_record_rejected_on_write(self, kind, tmp_path):
         with pytest.raises(ValueError, match="key"):
-            ResultStore(tmp_path).append({"sound": True})
+            _make_store(kind, tmp_path).append({"sound": True})
+
+    def test_missing_store_is_empty(self, kind, tmp_path):
+        assert _make_store(kind, tmp_path / "fresh").load() == {}
+
+    def test_completed_keys_skips_error_records(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
+        store.append(_rec("ok"))
+        store.append(_rec("boom", sound=False, error="Traceback ..."))
+        assert store.completed_keys() == {"ok"}
+
+    def test_backends_load_bit_identical_records(self, kind, tmp_path):
+        """A record round-trips to the same dict through either backend."""
+        recs = [
+            _rec("aa", tightness=0.123456789),
+            {"key": "bb", "bound": float("inf"), "measured": float("nan"),
+             "tags": ["x"], "spec": {"name": "cell"}},
+        ]
+        store = _make_store(kind, tmp_path / kind)
+        reference = JsonlResultStore(tmp_path / "ref")
+        store.append_many(recs)
+        reference.append_many(recs)
+        loaded, ref = store.load(), reference.load()
+        assert loaded["aa"] == ref["aa"]
+        assert loaded["bb"]["bound"] == ref["bb"]["bound"]
+        assert loaded["bb"]["tags"] == ref["bb"]["tags"]
 
 
 class TestCorruption:
     def test_corrupt_lines_quarantined_not_fatal(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = JsonlResultStore(tmp_path)
         store.append(_rec("aa"))
         with store.results_path.open("a") as fh:
             fh.write("{torn json!!\n")           # unparseable
@@ -110,19 +234,11 @@ class TestCorruption:
         assert store.load() == records
         assert store.quarantined == 0
 
-    def test_missing_store_is_empty(self, tmp_path):
-        assert ResultStore(tmp_path / "fresh").load() == {}
-
-    def test_completed_keys_skips_error_records(self, tmp_path):
-        store = ResultStore(tmp_path)
-        store.append(_rec("ok"))
-        store.append(_rec("boom", sound=False, error="Traceback ..."))
-        assert store.completed_keys() == {"ok"}
-
 
 class TestSummary:
-    def test_summary_counts(self, tmp_path):
-        store = ResultStore(tmp_path)
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_summary_counts(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
         store.append(_rec("a", tightness=0.4))
         store.append(_rec("b", sound=False, tightness=1.2))
         store.append(_rec("c", sound=False, error="Traceback ...", tightness=0.0))
@@ -137,6 +253,74 @@ class TestSummary:
         assert summary["campaign"] == "t"
         on_disk = json.loads(store.summary_path.read_text())
         assert on_disk == summary
+
+    def test_summary_write_is_atomic_replace(self, tmp_path):
+        """The summary lands via temp-file + os.replace, and the temp
+        file never survives (concurrent shard processes rewrite it)."""
+        store = JsonlResultStore(tmp_path)
+        store.append(_rec("a"))
+        store.write_summary()
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        assert json.loads(store.summary_path.read_text())["cells"] == 1
+
+    def test_summary_is_deterministic_across_backends(self, tmp_path):
+        """Same records -> byte-identical summary.json, whichever backend
+        holds them (no wall clocks or run-local state in the summary)."""
+        recs = [_rec("a", tightness=0.25), _rec("b", sound=False)]
+        files = []
+        for kind in BACKENDS:
+            store = _make_store(kind, tmp_path / kind)
+            store.append_many(recs)
+            store.write_summary()
+            files.append(store.summary_path.read_bytes())
+        assert files[0] == files[1]
+
+
+class TestMerge:
+    @pytest.mark.parametrize("dest_kind", BACKENDS)
+    def test_merge_shard_stores(self, dest_kind, tmp_path):
+        a, b = JsonlResultStore(tmp_path / "a"), _make_store(
+            "sqlite", tmp_path / "b"
+        )
+        a.append(_rec("k1"))
+        b.append(_rec("k2", sound=False))
+        dest = f"{dest_kind}:{tmp_path / 'all'}"
+        summary = merge_stores(dest, [tmp_path / "a", f"sqlite:{tmp_path / 'b'}"])
+        assert summary["cells"] == 2
+        assert set(open_store(dest).load()) == {"k1", "k2"}
+
+    def test_merge_without_sources_refreshes_summary(self, tmp_path):
+        store = JsonlResultStore(tmp_path)
+        store.append(_rec("k1"))
+        summary = merge_stores(tmp_path)
+        assert summary["cells"] == 1
+        assert store.summary_path.exists()
+
+    def test_later_sources_win_ties(self, tmp_path):
+        a, b = JsonlResultStore(tmp_path / "a"), JsonlResultStore(tmp_path / "b")
+        a.append(_rec("k", sound=True))
+        b.append(_rec("k", sound=False))
+        merge_stores(tmp_path / "all", [tmp_path / "a", tmp_path / "b"])
+        assert open_store(tmp_path / "all").load()["k"]["sound"] is False
+
+    def test_self_merge_rejected(self, tmp_path):
+        store = JsonlResultStore(tmp_path)
+        store.append(_rec("k"))
+        with pytest.raises(ValueError, match="itself"):
+            merge_stores(tmp_path, [tmp_path])
+
+    def test_self_merge_rejected_through_path_aliases(self, tmp_path,
+                                                      monkeypatch):
+        """Relative vs absolute spellings of one store are still a
+        self-merge (the guard resolves paths)."""
+        store = JsonlResultStore(tmp_path / "camp")
+        store.append(_rec("k"))
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError, match="itself"):
+            merge_stores(tmp_path / "camp", ["camp"])
 
 
 class TestDiff:
@@ -170,9 +354,33 @@ class TestDiff:
         assert diff.budget_regressions == ("a",)
         assert not diff.clean
 
-    def test_diff_stores_end_to_end(self, tmp_path):
-        old, new = ResultStore(tmp_path / "old"), ResultStore(tmp_path / "new")
+    def test_strict_gate_fails_on_removed_cells(self):
+        diff = diff_records({"a": _rec("a"), "gone": _rec("gone")},
+                            {"a": _rec("a")})
+        assert diff.clean                       # not a regression per se...
+        assert diff.gate() and not diff.gate(strict=True)  # ...but coverage loss
+
+    def test_to_dict_machine_readable(self):
+        diff = diff_records({"a": _rec("a")}, {"a": _rec("a", sound=False)})
+        payload = diff.to_dict()
+        assert payload["clean"] is False
+        assert payload["regressions"] == ["a"]
+        json.dumps(payload)  # JSON-serialisable as-is
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_diff_stores_end_to_end(self, kind, tmp_path):
+        old = _make_store(kind, tmp_path / "old")
+        new = _make_store(kind, tmp_path / "new")
         old.append(_rec("a"))
         new.append(_rec("a", sound=False))
-        diff = diff_stores(tmp_path / "old", tmp_path / "new")
+        diff = diff_stores(f"{kind}:{tmp_path / 'old'}",
+                           f"{kind}:{tmp_path / 'new'}")
         assert diff.regressions == ("a",)
+
+    def test_diff_across_backends(self, tmp_path):
+        """The diff is over records, so backends may differ freely."""
+        JsonlResultStore(tmp_path / "old").append(_rec("a"))
+        sq = _make_store("sqlite", tmp_path / "new")
+        sq.append(_rec("a", budget_ok=False))
+        diff = diff_stores(tmp_path / "old", f"sqlite:{tmp_path / 'new'}")
+        assert diff.budget_regressions == ("a",)
