@@ -195,15 +195,20 @@ def test_des_campaign_cells_per_sec(bench_pr3, artifact_report):
         "parallel_seconds": round(parallel_elapsed, 3),
         "parallel_cells_per_sec": round(parallel.scenarios_per_sec, 1),
         "parallel_speedup_x": round(speedup, 2),
+        # Context next to the number it qualifies: a sub-1x speedup on
+        # a box with fewer cores than jobs is expected, not a
+        # regression, and the floor is only asserted on >= 4 cores.
         "cpu_count": cores,
+        "floor_asserted": cores >= jobs,
     }
     artifact_report.append(
         "== DES-heavy campaign (48 cells, cost-scheduled) ==\n"
         f"serial:   {serial.scenarios_per_sec:.1f} cells/s "
         f"({serial_elapsed:.2f}s)\n"
         f"parallel: {parallel.scenarios_per_sec:.1f} cells/s "
-        f"({parallel_elapsed:.2f}s, {jobs} jobs)\n"
+        f"({parallel_elapsed:.2f}s, {jobs} jobs, {cores} cores)\n"
         f"speedup:  {speedup:.2f}x"
+        + ("" if cores >= jobs else "  (floor not asserted: too few cores)")
     )
     if cores >= jobs:
         assert speedup >= 1.3, (

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Nightly/CI baseline gate: run the tier-1 smoke campaign (the same
+# 24-cell matrix tests/test_runtime_campaign.py keeps alive) against
+# the pinned baseline store checked in at ci/baseline_smoke, and fail
+# on any soundness or perf-budget regression.
+#
+# Usage: ci/gate.sh [STORE_DIR]
+#   STORE_DIR  where to write the fresh campaign store
+#              (default: a temporary directory)
+#
+# Exit status: 0 when the campaign is clean AND the diff against the
+# pinned baseline shows no regression; 1 otherwise (the CLI's
+# --baseline flag gates in one shot).
+#
+# To re-pin the baseline after an intentional change:
+#   PYTHONPATH=src python -m repro.experiments.cli scenarios run \
+#     --count 24 --seed 11 --no-corpus --store ci/baseline_smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STORE="${1:-$(mktemp -d)/smoke}"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+  scenarios run \
+  --count 24 --seed 11 --no-corpus \
+  --jobs 2 \
+  --store "$STORE" \
+  --baseline ci/baseline_smoke
+
+echo "baseline gate: clean (store: $STORE)"

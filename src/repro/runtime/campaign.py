@@ -187,8 +187,14 @@ def outcome_record(outcome: ScenarioOutcome) -> dict:
         "tags": list(sc.tags),
         # Cost-model features (spec side): together with ``wall_time``
         # these let CellCostModel.fit re-derive per-backend cost
-        # coefficients from any real campaign store.
+        # coefficients from any real campaign store.  ``primed`` is an
+        # execution fact (closed-form fast path used), which the fit
+        # uses to price primed and evented cells separately.
         "backend": sc.backend,
+        "discipline": sc.discipline,
+        "topology": sc.topology,
+        "mode": sc.mode,
+        "primed": bool(outcome.primed),
         "k": int(sc.k),
         "tree_members": int(sc.tree_members),
         "horizon": float(sc.horizon),

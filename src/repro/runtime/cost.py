@@ -45,25 +45,35 @@ __all__ = [
 ]
 
 #: Seconds per unit of backend workload (see ``workload``), measured on
-#: the reference container over the PR-3 benchmark campaigns.  Absolute
-#: scale only matters relative to other backends -- scheduling uses
-#: cost *ratios* -- so stale coefficients degrade gracefully.
+#: the reference container over the PR-3/PR-5 benchmark campaigns.
+#: Absolute scale only matters relative to other backends -- scheduling
+#: uses cost *ratios* -- so stale coefficients degrade gracefully.
+#: The ``*_primed`` entries are *feature labels*, not spec backends:
+#: cells the simulators resolve on the closed-form fast paths (batched
+#: engine + adversarial discipline, PR 5) cost an order of magnitude
+#: less per packet than their evented twins and are priced separately.
 DEFAULT_COEFFICIENTS: dict[str, float] = {
     "fluid": 3.0e-8,          # per grid point x flow x hop
     "des": 4.0e-6,            # per expected packet x flow x hop
+    "des_primed": 3.0e-7,     # per expected packet (array kernels)
     "des_legacy": 1.2e-5,
     "tree_des": 6.0e-6,       # per expected packet x flow x member
+    "tree_des_primed": 4.0e-7,
     "tree_des_legacy": 1.0e-5,
 }
 
 #: Relative cost-prediction variance per backend family.  DES cells'
 #: realised packet counts (and the vacation fit's fluid fallback) swing
-#: far more than the fluid grid size, so their chunks shrink.
+#: far more than the fluid grid size, so their chunks shrink.  The
+#: primed paths are straight array passes over realised packet counts,
+#: so their predictions are tighter than the evented DES ones.
 BACKEND_VARIANCE: dict[str, float] = {
     "fluid": 0.15,
     "des": 0.8,
+    "des_primed": 0.4,
     "des_legacy": 0.8,
     "tree_des": 1.0,
+    "tree_des_primed": 0.5,
     "tree_des_legacy": 1.0,
 }
 
@@ -76,12 +86,23 @@ _DEFAULT_VARIANCE = 1.0
 _PACKETS_PER_SEC = 500.0
 
 
+#: Evented-vs-array per-packet weight inside the primed workloads: the
+#: tagged flow's remaining evented hosts cost roughly this many array
+#: packets each.
+_EVENTED_WEIGHT = 3.0
+
+
 def _spec_features(spec: Any) -> tuple[str, float]:
-    """``(backend, workload)`` for one scenario spec.
+    """``(feature label, workload)`` for one scenario spec.
 
     Accepts :class:`~repro.scenarios.spec.Scenario` instances or
     mapping-shaped records (store rows); unknown fields default
-    conservatively.
+    conservatively.  Cells that resolve on the closed-form primed fast
+    paths (PR 5) are classified under the ``*_primed`` labels: for
+    store records the recorded ``primed`` execution fact decides; for
+    specs it is inferred the way the simulators route
+    (``backend="des"``/``"tree_des"`` + ``discipline="adversarial"`` --
+    every resolved control mode is primeable).
     """
     get = (
         spec.get
@@ -94,6 +115,13 @@ def _spec_features(spec: Any) -> tuple[str, float]:
     hops = float(get("hops", 1) or 1)
     members = float(get("tree_members", 0) or 0)
     dt = float(get("dt", 2e-3) or 2e-3)
+    primed = get("primed", None)
+    discipline = get("discipline", None)
+    sub = get("spec", None)
+    if isinstance(sub, Mapping) and discipline is None:
+        discipline = sub.get("discipline")
+    if primed is None:
+        primed = backend in ("des", "tree_des") and discipline == "adversarial"
     if members > 0:
         # Tree specs carry hops=1; the realised critical path is about
         # the DSCT height (Lemma 2) -- use it as the hop estimate.
@@ -104,8 +132,20 @@ def _spec_features(spec: Any) -> tuple[str, float]:
         return backend, (3.0 * horizon / dt) * k * hops
     packets = horizon * _PACKETS_PER_SEC * k
     if backend.startswith("tree_des"):
+        if primed and backend == "tree_des":
+            # Cross traffic is one array pass per member; only the
+            # tagged flow (1/k of the packets) stays event-driven.
+            per_flow = horizon * _PACKETS_PER_SEC
+            workload = per_flow * (k + _EVENTED_WEIGHT * max(members, 4.0))
+            return "tree_des_primed", workload
         # Every member runs the full pipeline for all K flows.
         return backend, packets * max(members, 4.0)
+    if primed and backend == "des":
+        # Hop 0 (all K flows) is one array pass; later hops carry only
+        # the tagged flow, evented.
+        per_flow = horizon * _PACKETS_PER_SEC
+        workload = per_flow * (k + _EVENTED_WEIGHT * max(hops - 1.0, 0.0))
+        return "des_primed", workload
     return backend, packets * hops
 
 

@@ -107,6 +107,32 @@ def _canonical_json(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def _coerce_root(root: Any, scheme: str) -> Path:
+    """Validate and normalise a store constructor's ``root`` argument.
+
+    Only strings and path-likes (``os.PathLike``) are acceptable:
+    anything else (a :class:`ResultStore` instance, an outcome object,
+    ...) used to be ``str()``-coerced into a literal
+    ``<... object at 0x...>`` directory on disk.  Such targets now
+    fail loudly with the routing advice (``open_store`` passes
+    instances through).
+    """
+    if isinstance(root, os.PathLike):
+        return Path(os.fspath(root))
+    if not isinstance(root, str):
+        raise TypeError(
+            f"store root must be a str or path-like, got {type(root).__name__}"
+            + (
+                "; pass existing store instances through open_store()"
+                if isinstance(root, ResultStore)
+                else ""
+            )
+        )
+    if root.startswith(scheme + ":"):
+        root = root[len(scheme) + 1:]
+    return Path(root)
+
+
 def _spec_dict(spec: Any) -> dict[str, Any]:
     if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
         return dataclasses.asdict(spec)
@@ -315,10 +341,7 @@ class JsonlResultStore(ResultStore):
     kind = "jsonl"
 
     def __init__(self, root: Union[str, Path]):
-        root = str(root)
-        if root.startswith("jsonl:"):
-            root = root[len("jsonl:"):]
-        self.root = Path(root)
+        self.root = _coerce_root(root, "jsonl")
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
 
@@ -394,9 +417,16 @@ def open_store(
     """
     if isinstance(target, ResultStore):
         return target
+    if not isinstance(target, (str, os.PathLike)):
+        # A stray object would be str()-coerced into a literal
+        # "<... object at 0x...>" directory; fail loudly instead.
+        raise TypeError(
+            "open_store expects a ResultStore instance, a URL, or a "
+            f"path; got {type(target).__name__}"
+        )
     from repro.runtime.store_sqlite import SqliteResultStore
 
-    spec = str(target)
+    spec = os.fspath(target) if isinstance(target, os.PathLike) else target
     if spec.startswith("sqlite:"):
         cls, root = SqliteResultStore, Path(spec[len("sqlite:"):])
     elif spec.startswith("jsonl:"):

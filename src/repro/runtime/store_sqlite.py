@@ -32,7 +32,7 @@ import sqlite3
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Union
 
-from repro.runtime.store import ResultStore, _canonical_json
+from repro.runtime.store import ResultStore, _canonical_json, _coerce_root
 
 __all__ = ["SqliteResultStore"]
 
@@ -66,10 +66,7 @@ class SqliteResultStore(ResultStore):
     kind = "sqlite"
 
     def __init__(self, root: Union[str, Path]):
-        root = str(root)
-        if root.startswith("sqlite:"):
-            root = root[len("sqlite:"):]
-        self.root = Path(root)
+        self.root = _coerce_root(root, "sqlite")
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
         self._conn: sqlite3.Connection | None = None

@@ -109,6 +109,10 @@ class CellResult:
     cancelled_events: int
     height_ok: bool
     quant_eps: float
+    #: Whether the simulator resolved the cell on a closed-form primed
+    #: fast path (array kernels / background-folded cross traffic);
+    #: the cost model prices primed cells on their own coefficient.
+    primed: bool = False
 
 
 @dataclass(frozen=True)
@@ -131,6 +135,8 @@ class ScenarioOutcome:
     wall_time: float = 0.0
     #: Captured worker traceback; a non-``None`` value fails the verdict.
     error: Optional[str] = None
+    #: Closed-form fast path used (see :class:`CellResult`).
+    primed: bool = False
 
     @property
     def sound(self) -> bool:
@@ -397,8 +403,14 @@ def _realise(sc: Scenario) -> _Realised:
 # ----------------------------------------------------------------------
 # Simulation
 # ----------------------------------------------------------------------
-def _simulate(r: _Realised) -> tuple[float, int, int]:
-    """Run one realised scenario; returns (measured, events, cancelled)."""
+def _simulate(r: _Realised) -> tuple[float, int, int, bool]:
+    """Run one realised scenario.
+
+    Returns ``(measured, events, cancelled, primed)`` where ``primed``
+    reports whether the simulator resolved the cell on a closed-form
+    fast path (the batched engines route eligible cells automatically;
+    the flag feeds the cost model's primed-vs-evented pricing).
+    """
     sc = r.scenario
     # The *_legacy backends run the identical cell on the per-packet
     # legacy DES engine (the equivalence suite's reference).
@@ -416,7 +428,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
             discipline=sc.discipline,
             engine=engine,
         )
-        return res.worst_case_delay, res.events, 0
+        return res.worst_case_delay, res.events, 0, res.primed
     if sc.topology == "host":
         if r.eff_backend == "fluid":
             res = simulate_fluid_host(
@@ -428,7 +440,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
                 stagger_phase=sc.stagger_phase,
                 dt=sc.dt,
             )
-            return res.worst_case_delay, 0, 0
+            return res.worst_case_delay, 0, 0, False
         res = simulate_regulated_host(
             r.traces,
             r.envelopes,
@@ -438,7 +450,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
             stagger_phase=sc.stagger_phase,
             engine=engine,
         )
-        return res.worst_case_delay, res.events, res.cancelled_events
+        return res.worst_case_delay, res.events, res.cancelled_events, res.primed
     tagged, cross = r.traces[0], list(r.traces[1:])
     cross_per_hop = [cross] * r.hops
     if r.eff_backend == "fluid":
@@ -453,7 +465,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
             propagation=list(r.propagation),
             dt=sc.dt,
         )
-        return res.worst_case_delay, 0, 0
+        return res.worst_case_delay, 0, 0, False
     des = simulate_regulated_chain(
         tagged,
         cross_per_hop,
@@ -465,7 +477,7 @@ def _simulate(r: _Realised) -> tuple[float, int, int]:
         propagation=list(r.propagation),
         engine=engine,
     )
-    return des.worst_case_delay, des.events, des.cancelled_events
+    return des.worst_case_delay, des.events, des.cancelled_events, des.primed
 
 
 def _quant_eps(r: _Realised) -> float:
@@ -493,7 +505,7 @@ def evaluate_cell(scenario: Scenario) -> CellResult:
     into failed verdicts.
     """
     r = _realise(scenario)
-    measured, events, cancelled = _simulate(r)
+    measured, events, cancelled, primed = _simulate(r)
     return CellResult(
         name=scenario.name,
         eff_mode=r.eff_mode,
@@ -507,6 +519,7 @@ def evaluate_cell(scenario: Scenario) -> CellResult:
         cancelled_events=cancelled,
         height_ok=r.height_ok,
         quant_eps=_quant_eps(r),
+        primed=primed,
     )
 
 
@@ -587,6 +600,7 @@ def finalise_batch(
                 cancelled_events=cell.cancelled_events,
                 height_ok=cell.height_ok,
                 wall_time=task.wall_time,
+                primed=cell.primed,
             )
         outcomes.append(outcome)
         if progress is not None:

@@ -33,15 +33,33 @@ This module exploits exactly that structure, at three levels:
     the adversarial discipline, delivers each busy period with a single
     lazily-rescheduled release event.
 
-:func:`primed_vacation_host`
-    The array fast path for the single-host vacation cell (the dearest
-    scenario family): all flows' traces are known up front, so the
-    entire cell -- regulators, adversarial MUX, delay recording --
-    collapses into NumPy passes over merged departure arrays with *no
-    per-packet events at all*.  Used by
-    :func:`repro.simulation.host_sim.simulate_regulated_host` when the
-    batched engine meets ``mode="sigma-rho-lambda"`` and
-    ``discipline="adversarial"``.
+:func:`primed_vacation_host` / :func:`primed_adversarial_host`
+    The array fast paths for fully-known single-host cells: all flows'
+    traces are known up front, so the entire cell -- regulators,
+    adversarial MUX, delay recording -- collapses into NumPy passes
+    over merged departure arrays with *no per-packet events at all*.
+    PR 5 extends the original vacation-only path to every regulator
+    family: :func:`sigma_rho_departures` is the token-bucket analogue
+    of :func:`vacation_departures` (closed-form departures, float ops
+    sequenced identically to the legacy ``TokenBucketComponent``), and
+    :func:`primed_adversarial_host` dispatches on the control mode
+    (``sigma-rho`` / ``sigma-rho-lambda`` / ``none``).  Used by
+    :func:`repro.simulation.host_sim.simulate_regulated_host` whenever
+    the batched engine meets ``discipline="adversarial"``, and by
+    :func:`repro.simulation.chain.simulate_regulated_chain` to resolve
+    hop 0 (whose arrivals are all known) as a pure array pass.
+
+Background-primed MUX (:meth:`BatchMuxServer.prime_background`)
+    Chain hops past hop 0 and every tree member host serve K-1 *cross*
+    flows whose traces are known up front while the tagged flow stays
+    event-driven.  The cross flows' regulator departures are closed
+    form, so they are folded into the MUX as a sorted *background
+    train*: they occupy the server (extending busy periods exactly as
+    evented arrivals would) but materialise **no events and no Packet
+    objects at all** -- the running ``busy_until`` recurrence absorbs
+    them lazily whenever a dynamic arrival or release check happens.
+    Packets materialise only where the adversarial MUX genuinely needs
+    events: the tagged flow.
 
 Equivalence contract: for every supported configuration the batched
 components must reproduce the legacy components' measured delays
@@ -67,11 +85,17 @@ from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = [
     "vacation_departures",
+    "sigma_rho_departures",
     "BatchVacationComponent",
     "BatchMuxServer",
     "primed_vacation_host",
+    "primed_adversarial_host",
     "PrimedHostOutcome",
+    "PRIMED_MODES",
 ]
+
+#: Control modes :func:`primed_adversarial_host` resolves closed-form.
+PRIMED_MODES = ("sigma-rho", "sigma-rho-lambda", "none")
 
 #: Window-boundary tolerance -- identical to the legacy component's
 #: ``VacationComponent._TOL`` (the two implementations must agree on
@@ -239,6 +263,75 @@ def vacation_departures(
     return deps, trains
 
 
+def sigma_rho_departures(
+    times: np.ndarray,
+    sizes: np.ndarray,
+    sigma: float,
+    rho: float,
+) -> tuple[np.ndarray, int]:
+    """Departure times of a known arrival train through a token bucket.
+
+    The (sigma, rho) analogue of :func:`vacation_departures`: replays
+    the exact event sequence of the legacy
+    :class:`~repro.simulation.regulator_sim.TokenBucketComponent`
+    without an event loop, so the departures are bit-identical.
+
+    Fidelity notes (each one matters for bit-identity):
+
+    * Refills happen at every *event* instant -- each arrival and each
+      wakeup -- because ``min(sigma, tokens + rho * dt)`` chains are
+      not associative in floats; collapsing two refills into one would
+      drift.
+    * At equal instants an arrival precedes a pending wakeup (arrival
+      events are batch-scheduled at injection with lower sequence
+      numbers than any runtime-scheduled wake).
+    * A wakeup is *cancelled* only by a drain pass that leaves the
+      queue non-empty (which reschedules it); a drain that empties the
+      queue leaves the stale wake pending, and its later refill is a
+      real arithmetic event the replay must keep.
+
+    Returns ``(departures, drains)`` where ``drains`` counts drain
+    passes -- the evented path's event-count analogue.
+    """
+    times = np.ascontiguousarray(times, dtype=np.float64)
+    sizes = np.ascontiguousarray(sizes, dtype=np.float64)
+    n = times.size
+    deps = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return deps, 0
+    check_positive(sigma, "sigma")
+    check_positive(rho, "rho")
+    t_l = times.tolist()
+    s_l = sizes.tolist()
+    tokens = sigma
+    last = 0.0
+    head = 0      # first unserved packet
+    arrived = 0   # next arrival event to process
+    wake = None   # pending wakeup instant (may be stale)
+    drains = 0
+    while head < n:
+        if arrived < n and (wake is None or t_l[arrived] <= wake):
+            t = t_l[arrived]
+            arrived += 1
+        else:
+            t = wake
+            wake = None  # the wake event is consumed by firing
+        drains += 1
+        # _refill: one clamp per event instant, never coalesced.
+        tokens = min(sigma, tokens + rho * (t - last))
+        last = t
+        while head < arrived and tokens >= s_l[head] - 1e-15:
+            tokens -= s_l[head]
+            deps[head] = t
+            head += 1
+        if head < arrived:
+            # Queue non-empty: cancel-and-reschedule the wakeup.
+            wake = t + (s_l[head] - tokens) / rho
+        # else: any pending stale wake stays pending (legacy leaves it
+        # uncancelled; its refill still happens).
+    return deps, drains
+
+
 # ----------------------------------------------------------------------
 # Evented batched components
 # ----------------------------------------------------------------------
@@ -286,6 +379,20 @@ class BatchVacationComponent:
     # -- component interface ----------------------------------------------
     def receive(self, packet: Packet) -> None:
         self._queue.append(packet)
+        if not self._committed:
+            self._try_start()
+
+    def receive_batch(self, packets: Sequence[Packet]) -> None:
+        """Accept several packets arriving at the current instant (one
+        replicated busy period).
+
+        Equivalent to sequential :meth:`receive` calls: a single
+        commit over the longer queue performs the same left-to-right
+        cumulative-sum additions and the same window boundary checks
+        the per-packet chain would, so departures are identical --
+        only the event count drops.
+        """
+        self._queue.extend(packets)
         if not self._committed:
             self._try_start()
 
@@ -374,6 +481,25 @@ class BatchMuxServer:
     lazily chases the end of the busy period (rescheduling itself only
     when arrivals extended the period past its horizon -- typically one
     or two events per busy period, never more than one per packet).
+    The release delivers each flow's packets of the busy period in one
+    ``receive_batch`` call when the target supports it, which is what
+    lets tree replication commit one fanout event per busy period per
+    child instead of one per packet.
+
+    **Background trains** (:meth:`prime_background`): flows whose full
+    MUX-arrival train is known up front (cross traffic through
+    closed-form regulators) need neither events nor ``Packet``
+    objects.  Their sorted ``(times, sizes)`` arrays are folded into
+    the ``busy_until`` recurrence lazily -- on each dynamic arrival
+    (arrivals up to and including ``now``: background events were
+    scheduled first, so they precede equal-time dynamic ones) and on
+    each release check (strictly before ``now``: the release decision
+    carries priority -1, so it precedes equal-time arrivals).
+    Background packets occupy the server and extend busy periods
+    exactly as evented arrivals would, but are never delivered and
+    never counted in ``served_count`` (their delivery target is the
+    cross-traffic drop sink).  ``queue_length``/``backlog`` report
+    held *dynamic* packets only.
     """
 
     def __init__(
@@ -402,6 +528,11 @@ class BatchMuxServer:
         self._check = None
         self.served_count = 0
         self.served_data = 0.0
+        #: Background train (sorted arrival times / serialisation
+        #: times) plus the fold pointer; see :meth:`prime_background`.
+        self._bg_t: list[float] = []
+        self._bg_tx: list[float] = []
+        self._bg_i = 0
 
     @property
     def queue_length(self) -> int:
@@ -412,9 +543,60 @@ class BatchMuxServer:
     def backlog(self) -> float:
         return sum(p.size for p in self._held)
 
+    # -- background trains -------------------------------------------------
+    def prime_background(self, times, sizes) -> None:
+        """Install a known train of arrivals that occupy the server but
+        are never delivered (cross traffic bound for a drop sink).
+
+        ``times`` must be non-decreasing; ``sizes`` are packet sizes in
+        capacity-seconds (the serialisation-time division happens here,
+        elementwise -- identical IEEE results to the evented per-packet
+        ``size / capacity``).  May be called once per MUX, before any
+        dynamic traffic is processed.
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        sizes = np.ascontiguousarray(sizes, dtype=np.float64)
+        if times.size and np.any(np.diff(times) < 0):
+            raise ValueError("background train times must be non-decreasing")
+        if self._bg_t or self._bg_i:
+            raise ValueError("background train already primed")
+        if self._busy_until != -np.inf or self._held:
+            raise ValueError(
+                "prime_background must precede any dynamic traffic"
+            )
+        self._bg_t = times.tolist()
+        self._bg_tx = (sizes / self.capacity).tolist()
+        self._bg_i = 0
+
+    def _fold_background(self, limit: float, *, strict: bool) -> None:
+        """Advance ``busy_until`` over background arrivals up to
+        ``limit`` (exclusive when ``strict``).  The recurrence is the
+        exact arithmetic of :meth:`receive`: ``start = max(t, bu)``
+        then ``start + tx``."""
+        i = self._bg_i
+        bg_t = self._bg_t
+        n = len(bg_t)
+        if i >= n:
+            return
+        bg_tx = self._bg_tx
+        bu = self._busy_until
+        while i < n:
+            t = bg_t[i]
+            if t > limit or (strict and t == limit):
+                break
+            start = t if t > bu else bu
+            bu = start + bg_tx[i]
+            i += 1
+        self._bg_i = i
+        self._busy_until = bu
+
     # -- component interface ----------------------------------------------
     def receive(self, packet: Packet) -> None:
         now = self.sim.now
+        if self._bg_i < len(self._bg_t):
+            # Background arrivals up to *and including* now precede
+            # this dynamic arrival (they were scheduled first).
+            self._fold_background(now, strict=False)
         bu = self._busy_until
         start = now if now > bu else bu
         dep = start + packet.size / self.capacity
@@ -432,7 +614,18 @@ class BatchMuxServer:
         else:
             self.sim.schedule(dep, self._route, packet)
 
+    def receive_batch(self, packets: Sequence[Packet]) -> None:
+        """Accept several packets arriving at the current instant (a
+        replicated busy period); equivalent to sequential receives."""
+        for pkt in packets:
+            self.receive(pkt)
+
     def _release_check(self) -> None:
+        if self._bg_i < len(self._bg_t):
+            # Strictly-before-now only: an arrival at exactly the
+            # release instant opens a fresh busy period (priority -1
+            # runs first in the evented order).
+            self._fold_background(self.sim.now, strict=True)
         if self.sim.now < self._busy_until:
             # Arrivals extended the busy period past this check's
             # horizon: chase the new end (no cancellation residue).
@@ -442,8 +635,31 @@ class BatchMuxServer:
             return
         self._check = None
         held, self._held = self._held, []
+        if len(held) == 1:
+            self._route(held[0])
+            return
+        # One delivery per (flow, busy period): group in first-arrival
+        # order and hand each flow's packets over in a single batch
+        # when the target supports it.  Targets are per-flow components
+        # (or one shared terminal sink), so regrouping by flow cannot
+        # change any measured delay -- every delivery happens at this
+        # same instant.
+        groups: dict[int, list[Packet]] = {}
         for pkt in held:
-            self._route(pkt)
+            groups.setdefault(pkt.flow_id, []).append(pkt)
+        sink = self.sink
+        for flow_id, pkts in groups.items():
+            self.served_count += len(pkts)
+            self.served_data += sum(p.size for p in pkts)
+            target = sink.get(flow_id) if isinstance(sink, Mapping) else sink
+            if target is None:
+                continue
+            batch = getattr(target, "receive_batch", None)
+            if batch is not None:
+                batch(pkts)
+            else:
+                for pkt in pkts:
+                    target.receive(pkt)
 
     def _route(self, pkt: Packet) -> None:
         # Served accounting happens here -- at delivery, not arrival --
@@ -462,28 +678,128 @@ class BatchMuxServer:
 
 
 # ----------------------------------------------------------------------
-# The primed single-host fast path
+# The primed single-host fast paths
 # ----------------------------------------------------------------------
 class PrimedHostOutcome:
-    """Raw product of :func:`primed_vacation_host` (arrays, no Packets)."""
+    """Raw product of the primed host passes (arrays, no Packets).
 
-    __slots__ = ("per_flow_delays", "trains", "busy_periods")
+    ``per_flow_deliveries`` carries each flow's absolute delivery
+    instants in emission order -- the chain simulator consumes them to
+    forward hop-0 output into hop 1 without ever materialising hop-0
+    packets.
+    """
+
+    __slots__ = (
+        "per_flow_delays", "per_flow_deliveries", "trains", "busy_periods",
+    )
 
     def __init__(
         self,
         per_flow_delays: list[np.ndarray],
         trains: int,
         busy_periods: int,
+        per_flow_deliveries: Optional[list[np.ndarray]] = None,
     ):
         self.per_flow_delays = per_flow_delays
+        self.per_flow_deliveries = (
+            per_flow_deliveries
+            if per_flow_deliveries is not None
+            else [np.empty(0) for _ in per_flow_delays]
+        )
         self.trains = trains
         self.busy_periods = busy_periods
 
     @property
     def batch_events(self) -> int:
         """The batched path's event-count analogue: one pass per
-        vacation busy train plus one release per MUX busy period."""
+        regulator busy train (or token-bucket drain) plus one release
+        per MUX busy period."""
         return self.trains + self.busy_periods
+
+
+def _adversarial_mux_deliveries(
+    arr: np.ndarray, tx: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Delivery instants of time-sorted MUX arrivals under the
+    adversarial hold-and-release discipline.
+
+    The constant-rate drain is the ``busy_until`` recurrence,
+    float-sequenced exactly like the evented MUX's per-packet chain;
+    delivery equals the end of each packet's busy period.  A busy
+    period ends where the next arrival does not precede the
+    completion; an arrival at *exactly* the completion instant starts
+    a fresh period (in the evented chain the release decision carries
+    priority -1, so it precedes the equal-time arrival -- and in the
+    legacy chain the finish event popped first for the same reason).
+
+    Returns ``(delivery, busy_periods)``.
+    """
+    n = arr.size
+    bu = np.empty(n, dtype=np.float64)
+    current = -np.inf
+    arr_l = arr.tolist()
+    tx_l = tx.tolist()
+    for i in range(n):
+        t = arr_l[i]
+        if t > current:
+            current = t
+        current += tx_l[i]
+        bu[i] = current
+    nxt = np.empty(n, dtype=np.float64)
+    nxt[:-1] = arr[1:]
+    nxt[-1] = np.inf
+    is_end = nxt >= bu
+    end_idx = np.nonzero(is_end)[0]
+    reps = np.diff(np.concatenate(([-1], end_idx)))
+    delivery = np.repeat(bu[end_idx], reps)
+    return delivery, int(end_idx.size)
+
+
+def _merge_and_deliver(
+    dep_list: Sequence[np.ndarray],
+    emit_list: Sequence[np.ndarray],
+    size_list: Sequence[np.ndarray],
+    *,
+    capacity: float,
+    trains: int,
+    horizon: Optional[float],
+    drain: bool,
+) -> PrimedHostOutcome:
+    """Merge per-flow regulator departures through the adversarial MUX
+    pass and split delays/deliveries back per flow."""
+    k = len(dep_list)
+    flow_list = [
+        np.full(d.size, f, dtype=np.int64) for f, d in enumerate(dep_list)
+    ]
+    arr = np.concatenate(dep_list) if dep_list else np.empty(0)
+    emits = np.concatenate(emit_list) if emit_list else np.empty(0)
+    sizes_all = np.concatenate(size_list) if size_list else np.empty(0)
+    flows = np.concatenate(flow_list) if flow_list else np.empty(0, dtype=np.int64)
+    n = arr.size
+    if n == 0:
+        empty = [np.empty(0) for _ in range(k)]
+        return PrimedHostOutcome(empty, 0, 0, [np.empty(0) for _ in range(k)])
+    # Stable sort: equal departure instants keep flow-injection order,
+    # matching the evented engines' event-sequence tie-break.
+    order = np.argsort(arr, kind="stable")
+    arr = arr[order]
+    emits = emits[order]
+    flows = flows[order]
+    tx = sizes_all[order] / capacity
+    delivery, busy_periods = _adversarial_mux_deliveries(arr, tx)
+    if not drain:
+        if horizon is None:
+            raise ValueError("drain=False requires a horizon")
+        keep = delivery <= horizon
+        delivery = delivery[keep]
+        emits = emits[keep]
+        flows = flows[keep]
+    delays = delivery - emits
+    # Per-flow split preserves emission order: each flow's regulator
+    # departures are non-decreasing, and the sort above is stable.
+    per_flow = [delays[flows == f] for f in range(k)]
+    per_deliv = [delivery[flows == f] for f in range(k)]
+    return PrimedHostOutcome(per_flow, trains, busy_periods, per_deliv)
 
 
 def primed_vacation_host(
@@ -526,7 +842,6 @@ def primed_vacation_host(
     dep_list: list[np.ndarray] = []
     emit_list: list[np.ndarray] = []
     size_list: list[np.ndarray] = []
-    flow_list: list[np.ndarray] = []
     trains_total = 0
     for f in range(k):
         times, sizes = traces[f]
@@ -538,51 +853,78 @@ def primed_vacation_host(
         dep_list.append(deps)
         emit_list.append(np.asarray(times, dtype=np.float64))
         size_list.append(np.asarray(sizes, dtype=np.float64))
-        flow_list.append(np.full(deps.size, f, dtype=np.int64))
-    arr = np.concatenate(dep_list) if dep_list else np.empty(0)
-    emits = np.concatenate(emit_list) if emit_list else np.empty(0)
-    sizes_all = np.concatenate(size_list) if size_list else np.empty(0)
-    flows = np.concatenate(flow_list) if flow_list else np.empty(0, dtype=np.int64)
-    n = arr.size
-    if n == 0:
-        return PrimedHostOutcome([np.empty(0) for _ in range(k)], 0, 0)
-    order = np.argsort(arr, kind="stable")
-    arr = arr[order]
-    emits = emits[order]
-    flows = flows[order]
-    tx = sizes_all[order] / capacity
-    # The constant-rate drain: busy_until recurrence, float-sequenced
-    # exactly like the legacy MUX's schedule_in chain.
-    bu = np.empty(n, dtype=np.float64)
-    current = -np.inf
-    arr_l = arr.tolist()
-    tx_l = tx.tolist()
-    for i in range(n):
-        t = arr_l[i]
-        if t > current:
-            current = t
-        current += tx_l[i]
-        bu[i] = current
-    # Busy period ends where the next arrival does not precede the
-    # completion.  An arrival at *exactly* the completion instant
-    # starts a fresh period: in the legacy event chain the MUX finish
-    # event was scheduled inside an earlier event than the equal-time
-    # delivery, so it pops first, finds the heap empty, and releases
-    # (the back-to-back single-flow pattern of mtu-grid traces).
-    nxt = np.empty(n, dtype=np.float64)
-    nxt[:-1] = arr[1:]
-    nxt[-1] = np.inf
-    is_end = nxt >= bu
-    end_idx = np.nonzero(is_end)[0]
-    reps = np.diff(np.concatenate(([-1], end_idx)))
-    delivery = np.repeat(bu[end_idx], reps)
-    if not drain:
-        if horizon is None:
-            raise ValueError("drain=False requires a horizon")
-        keep = delivery <= horizon
-        delivery = delivery[keep]
-        emits = emits[keep]
-        flows = flows[keep]
-    delays = delivery - emits
-    per_flow = [delays[flows == f] for f in range(k)]
-    return PrimedHostOutcome(per_flow, trains_total, int(end_idx.size))
+    return _merge_and_deliver(
+        dep_list, emit_list, size_list,
+        capacity=capacity, trains=trains_total, horizon=horizon, drain=drain,
+    )
+
+
+def primed_adversarial_host(
+    traces: Sequence[tuple[np.ndarray, np.ndarray]],
+    envelopes: Sequence,
+    mode: str,
+    *,
+    capacity: float = 1.0,
+    stagger_phase: float = 0.0,
+    horizon: Optional[float] = None,
+    drain: bool = True,
+) -> PrimedHostOutcome:
+    """Array fast path for any fully-known adversarial host cell.
+
+    Generalises :func:`primed_vacation_host` over the control mode:
+
+    * ``"sigma-rho"`` -- per-flow token buckets
+      (:func:`sigma_rho_departures`, parameterised exactly like the
+      builder: ``sigma = e.sigma``, ``rho = e.rho / capacity``);
+    * ``"sigma-rho-lambda"`` -- the staggered vacation regulators (the
+      stagger plan is rebuilt from the envelopes the way
+      :func:`repro.simulation.host_sim.build_regulated_host` does);
+    * ``"none"`` -- no regulation: arrivals feed the MUX directly.
+
+    ``mode`` must already be resolved (no ``"adaptive"`` here -- the
+    caller resolves it exactly like the builders do).  Delivery times
+    equal the end of each packet's MUX busy period, the adversarial
+    hold-and-release instant, bit-identical to the evented batched
+    engine.
+    """
+    if mode not in PRIMED_MODES:
+        raise ValueError(
+            f"primed_adversarial_host supports modes {PRIMED_MODES}, "
+            f"got {mode!r}"
+        )
+    check_positive(capacity, "capacity")
+    k = len(traces)
+    dep_list: list[np.ndarray] = []
+    emit_list: list[np.ndarray] = []
+    size_list: list[np.ndarray] = []
+    trains_total = 0
+    if mode == "sigma-rho-lambda":
+        from repro.core.adaptive import AdaptiveController
+
+        plan = AdaptiveController(envelopes, capacity).build_stagger_plan()
+        base = (stagger_phase % 1.0) * plan.period
+        regulators = plan.regulators
+        offsets = [base + off for off in plan.offsets]
+    for f in range(k):
+        times, sizes = traces[f]
+        if mode == "sigma-rho":
+            env = envelopes[f]
+            deps, trains = sigma_rho_departures(
+                times, sizes, env.sigma, env.rho / capacity
+            )
+        elif mode == "sigma-rho-lambda":
+            deps, trains = vacation_departures(
+                times, sizes, regulators[f], offset=float(offsets[f]),
+                out_rate=capacity,
+            )
+        else:  # none: arrivals feed the MUX directly
+            deps = np.ascontiguousarray(times, dtype=np.float64)
+            trains = 0
+        trains_total += trains
+        dep_list.append(deps)
+        emit_list.append(np.asarray(times, dtype=np.float64))
+        size_list.append(np.asarray(sizes, dtype=np.float64))
+    return _merge_and_deliver(
+        dep_list, emit_list, size_list,
+        capacity=capacity, trains=trains_total, horizon=horizon, drain=drain,
+    )

@@ -20,9 +20,14 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.calculus.envelope import ArrivalEnvelope
+from repro.simulation.batched import PRIMED_MODES, primed_adversarial_host
 from repro.simulation.engine import Simulator
 from repro.simulation.flow import PacketTrace
-from repro.simulation.host_sim import build_regulated_host, inject_trace
+from repro.simulation.host_sim import (
+    build_regulated_host,
+    inject_trace,
+    resolve_mode,
+)
 from repro.simulation.measures import DelayRecorder, DelayStats
 from repro.simulation.packet import Packet
 from repro.utils.validation import check_non_negative
@@ -41,6 +46,9 @@ class ChainResult:
     events: int
     #: Cancelled events popped off the heap (see ``HostResult``).
     cancelled_events: int = 0
+    #: Whether hop 0 (and the cross traffic of every later hop) was
+    #: resolved closed-form (see ``simulate_regulated_chain`` notes).
+    primed: bool = False
 
 
 class _Relay:
@@ -55,11 +63,22 @@ class _Relay:
         packet.hops += 1
         self.sim.schedule_in(self.delay, self.next_entry.receive, packet)
 
+    def receive_batch(self, packets: Sequence[Packet]) -> None:
+        """Forward a whole released busy period in one event."""
+        for packet in packets:
+            packet.hops += 1
+        self.sim.schedule_in(
+            self.delay, self.next_entry.receive_batch, packets
+        )
+
 
 class _Drop:
     """Terminal sink for cross-traffic (delays measured only for the tagged flow)."""
 
     def receive(self, packet: Packet) -> None:  # noqa: D102 - trivial
+        pass
+
+    def receive_batch(self, packets) -> None:  # noqa: D102 - trivial
         pass
 
 
@@ -113,6 +132,18 @@ def simulate_regulated_chain(
     -----
     Consecutive hosts use staggered vacation offsets shifted by half a
     window so the tagged flow does not ride a lucky synchronisation.
+
+    Under the batched engine with the adversarial discipline the chain
+    is *array-first*: every flow entering hop 0 is known up front, so
+    hop 0 resolves as one closed-form pass
+    (:func:`repro.simulation.batched.primed_adversarial_host`) and the
+    tagged packets materialise only at hop 1; the K-1 cross flows of
+    every later hop are likewise known up front, so their regulator
+    departures fold into each hop's MUX as a zero-event background
+    train.  Only the tagged flow is event-driven past hop 0, and its
+    inter-hop handoff travels one relay event per MUX busy period.
+    Measured delays are bit-identical to the fully evented batched
+    engine (``engine="evented"``).
     """
     hops = len(cross_traces_per_hop)
     if hops < 1:
@@ -127,6 +158,48 @@ def simulate_regulated_chain(
         propagation = [0.0] * hops
     if len(propagation) != hops:
         raise ValueError("propagation must have one entry per hop")
+    if horizon is None:
+        horizon = float(tagged_trace.times[-1]) + 1e-9 if len(tagged_trace) else 1.0
+
+    mode_eff = resolve_mode(mode, envelopes, capacity)
+    primed = (
+        engine == "batched"
+        and discipline == "adversarial"
+        and mode_eff in PRIMED_MODES
+    )
+    tagged_in = tagged_trace.restrict(horizon)
+    cross_in = [
+        [trace.restrict(horizon) for trace in cross]
+        for cross in cross_traces_per_hop
+    ]
+
+    batch_events = 0
+    if primed:
+        # Hop 0: every flow's arrival train is known, so the whole host
+        # (regulators, adversarial MUX, delivery) is one array pass.
+        # The tagged flow enters after its access propagation delay;
+        # delays are still measured against the original emissions.
+        outcome0 = primed_adversarial_host(
+            [(tagged_in.times + propagation[0], tagged_in.sizes)]
+            + [(tr.times, tr.sizes) for tr in cross_in[0]],
+            envelopes,
+            mode_eff,
+            capacity=capacity,
+            stagger_phase=(stagger_phase + 0 * 0.37) % 1.0,
+        )
+        batch_events = outcome0.batch_events
+        hop0_out = outcome0.per_flow_deliveries[0]
+        if hops == 1:
+            stats = DelayStats.from_delays(hop0_out - tagged_in.times)
+            return ChainResult(
+                mode=mode,
+                hops=hops,
+                worst_case_delay=stats.worst,
+                tagged_stats=stats,
+                events=batch_events,
+                cancelled_events=0,
+                primed=True,
+            )
 
     sim = Simulator()
     recorder = DelayRecorder(sim)
@@ -134,10 +207,11 @@ def simulate_regulated_chain(
     # The adversarial priority order serves the tagged flow last: larger
     # value = later service in MuxServer, so tagged flow 0 gets k.
     # Build hosts back to front so each host's tagged-flow output can be
-    # wired to the next host's entry.
-    next_tagged_entry = recorder
+    # wired to the next host's entry.  With hop 0 primed, its host is
+    # never built -- the closed-form deliveries feed hop 1 directly.
+    first_hop = 1 if primed else 0
     entries_per_hop: list = [None] * hops
-    for h in reversed(range(hops)):
+    for h in reversed(range(first_hop, hops)):
         if h == hops - 1:
             tagged_sink = recorder
         else:
@@ -156,29 +230,42 @@ def simulate_regulated_chain(
             # golden-ratio-ish fraction of the stagger period.
             stagger_phase=(stagger_phase + h * 0.37) % 1.0,
             engine=engine,
+            # Cross traffic is known up front: fold it into the MUX as
+            # a zero-event background train instead of injecting it.
+            primed_traces=(
+                {f: cross_in[h][f - 1] for f in range(1, k)} if primed else None
+            ),
         )
         mux.priorities = {0: k, **{f: f for f in range(1, k)}}
         entries_per_hop[h] = entries
-    del next_tagged_entry
 
-    if horizon is None:
-        horizon = float(tagged_trace.times[-1]) + 1e-9 if len(tagged_trace) else 1.0
-
-    # Tagged flow enters host 0 after its access propagation delay.
-    first_entry = entries_per_hop[0][0]
-    tagged_in = tagged_trace.restrict(horizon)
-    sim.schedule_batch(
-        tagged_in.times + propagation[0],
-        first_entry.receive,
-        (
-            (Packet(flow_id=0, size=float(s), t_emit=float(t)),)
-            for t, s in zip(tagged_in.times, tagged_in.sizes)
-        ),
-    )
-    # Cross flows enter their hop directly.
-    for h, cross in enumerate(cross_traces_per_hop):
-        for f, trace in enumerate(cross, start=1):
-            inject_trace(sim, trace.restrict(horizon), f, entries_per_hop[h][f])
+    if primed:
+        # The hop-0 array pass feeds hop 1: tagged packets materialise
+        # here, one delivery event each (the only per-packet events the
+        # chain still pays), sorted into an empty queue.
+        sim.schedule_batch(
+            hop0_out + propagation[1],
+            entries_per_hop[1][0].receive,
+            (
+                (Packet(flow_id=0, size=float(s), t_emit=float(t), hops=1),)
+                for t, s in zip(tagged_in.times, tagged_in.sizes)
+            ),
+        )
+    else:
+        # Tagged flow enters host 0 after its access propagation delay.
+        first_entry = entries_per_hop[0][0]
+        sim.schedule_batch(
+            tagged_in.times + propagation[0],
+            first_entry.receive,
+            (
+                (Packet(flow_id=0, size=float(s), t_emit=float(t)),)
+                for t, s in zip(tagged_in.times, tagged_in.sizes)
+            ),
+        )
+        # Cross flows enter their hop directly.
+        for h, cross in enumerate(cross_in):
+            for f, trace in enumerate(cross, start=1):
+                inject_trace(sim, trace, f, entries_per_hop[h][f])
 
     sim.run()
     stats = recorder.stats(0)
@@ -187,6 +274,7 @@ def simulate_regulated_chain(
         hops=hops,
         worst_case_delay=stats.worst,
         tagged_stats=stats,
-        events=sim.events_processed,
+        events=sim.events_processed + batch_events,
         cancelled_events=sim.cancelled_events,
+        primed=primed,
     )

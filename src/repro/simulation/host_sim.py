@@ -24,14 +24,19 @@ Control modes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.calculus.envelope import ArrivalEnvelope
 from repro.core.adaptive import AdaptiveController, ControlMode
 from repro.simulation.batched import (
+    PRIMED_MODES,
     BatchMuxServer,
     BatchVacationComponent,
-    primed_vacation_host,
+    primed_adversarial_host,
+    sigma_rho_departures,
+    vacation_departures,
 )
 from repro.simulation.engine import Simulator
 from repro.simulation.flow import PacketTrace
@@ -41,15 +46,28 @@ from repro.simulation.packet import Packet
 from repro.simulation.regulator_sim import TokenBucketComponent, VacationComponent
 from repro.utils.validation import check_positive
 
-__all__ = ["HostResult", "simulate_regulated_host", "build_regulated_host", "inject_trace"]
+__all__ = [
+    "HostResult",
+    "simulate_regulated_host",
+    "build_regulated_host",
+    "inject_trace",
+    "resolve_mode",
+]
 
 #: Control-mode strings accepted by the builders.
 MODES = ("sigma-rho", "sigma-rho-lambda", "none", "adaptive")
 
-#: DES engines: ``"batched"`` (window-batched components, the default)
-#: or ``"legacy"`` (the per-packet event chain, kept for the
-#: equivalence suite and addressable as ``backend="des_legacy"``).
-ENGINES = ("batched", "legacy")
+#: DES engines: ``"batched"`` (window-batched components plus the
+#: closed-form primed fast paths, the default), ``"evented"`` (the
+#: same window-batched components but *no* closed-form shortcuts --
+#: the PR-3 behaviour, kept as the mid-rung of the equivalence ladder
+#: and as the benchmark baseline the primed paths are measured
+#: against) or ``"legacy"`` (the per-packet event chain, addressable
+#: as ``backend="des_legacy"``).
+ENGINES = ("batched", "evented", "legacy")
+
+#: Engines built from the window-batched components.
+_BATCH_ENGINES = ("batched", "evented")
 
 
 @dataclass(frozen=True)
@@ -64,6 +82,9 @@ class HostResult:
     #: batch harnesses report it next to ``events`` so event-rate
     #: figures account for the lazy-cancellation residue.
     cancelled_events: int = 0
+    #: Whether the cell resolved on a closed-form primed fast path
+    #: (no event loop); the cost model prices primed cells separately.
+    primed: bool = False
 
     def worst_flow(self) -> int:
         """Index of the flow with the largest worst-case delay."""
@@ -89,6 +110,43 @@ def inject_trace(
     )
 
 
+def resolve_mode(
+    mode: str, envelopes: Sequence[ArrivalEnvelope], capacity: float
+) -> str:
+    """Resolve ``"adaptive"`` into a concrete control mode, exactly the
+    way :func:`build_regulated_host` does."""
+    if mode != "adaptive":
+        return mode
+    ctrl = AdaptiveController(envelopes, capacity)
+    return (
+        "sigma-rho"
+        if ctrl.select_mode() is ControlMode.SIGMA_RHO
+        else "sigma-rho-lambda"
+    )
+
+
+class _PrimedEntry:
+    """Entry sentinel for a flow whose traffic was primed closed-form.
+
+    A primed flow's packets must never be injected -- its regulator
+    departures are already folded into the MUX background train -- so
+    any ``receive`` on this entry is a builder-contract violation.
+    """
+
+    __slots__ = ("flow_id",)
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+
+    def receive(self, packet: Packet) -> None:
+        raise RuntimeError(
+            f"flow {self.flow_id} was primed closed-form; do not inject "
+            "its trace into the evented pipeline"
+        )
+
+    receive_batch = receive
+
+
 def build_regulated_host(
     sim: Simulator,
     envelopes: Sequence[ArrivalEnvelope],
@@ -99,6 +157,7 @@ def build_regulated_host(
     discipline: str = "priority",
     stagger_phase: float = 0.0,
     engine: str = "batched",
+    primed_traces: Optional[Mapping[int, PacketTrace]] = None,
 ):
     """Assemble regulators + MUX for one end host; return per-flow entry points.
 
@@ -122,15 +181,28 @@ def build_regulated_host(
     engine:
         One of :data:`ENGINES`: ``"batched"`` commits whole busy trains
         per event (window-batched vacation service, commit-on-receive
-        MUX drains); ``"legacy"`` is the per-packet event chain.  The
+        MUX drains) and is the only engine eligible for the primed
+        closed-form fast paths; ``"evented"`` uses the same components
+        but never shortcuts the event loop (the equivalence ladder's
+        mid-rung); ``"legacy"`` is the per-packet event chain.  The
         equivalence contract (``tests/test_des_batched_equivalence``):
         bit-identical delays for FIFO/priority disciplines; under the
-        adversarial discipline the batched engine releases held batches
+        adversarial discipline the batched engines release held batches
         deterministically at zero-backlog instants (the fluid backend's
-        semantics), so its delays are pointwise <= the legacy engine's
-        (whose release at exact ties was an event-order race).
+        semantics), so their delays are pointwise <= the legacy
+        engine's (whose release at exact ties was an event-order race).
         ``"priority"`` MUXes always use the legacy server (a strict
         priority order cannot be committed ahead of arrivals).
+    primed_traces:
+        Optional ``flow_id -> PacketTrace`` of flows whose *complete*
+        arrival traces are known up front (cross traffic).  Their
+        regulator departures are computed closed-form and folded into
+        the MUX as a zero-event background train
+        (:meth:`repro.simulation.batched.BatchMuxServer.prime_background`);
+        the returned entry for such a flow is a sentinel that rejects
+        injection.  Requires a batch engine and a fifo/adversarial
+        discipline (the callers gate on adversarial, where delivery
+        instants are provably tie-order invariant).
 
     Returns
     -------
@@ -150,8 +222,14 @@ def build_regulated_host(
             if controller.select_mode() is ControlMode.SIGMA_RHO
             else "sigma-rho-lambda"
         )
+    # One stagger plan serves both the vacation entries and the primed
+    # cross-flow departures below.
+    plan = base = None
+    if mode == "sigma-rho-lambda":
+        plan = controller.build_stagger_plan()
+        base = (stagger_phase % 1.0) * plan.period
     priorities = {i: i for i in range(len(envelopes))}
-    if engine == "batched" and discipline in ("fifo", "adversarial"):
+    if engine in _BATCH_ENGINES and discipline in ("fifo", "adversarial"):
         mux = BatchMuxServer(
             sim, capacity, sink, discipline=discipline, priorities=priorities
         )
@@ -159,8 +237,14 @@ def build_regulated_host(
         mux = MuxServer(
             sim, capacity, sink, discipline=discipline, priorities=priorities
         )
+    if primed_traces and not isinstance(mux, BatchMuxServer):
+        raise ValueError(
+            "primed_traces requires a batch engine with a fifo or "
+            f"adversarial discipline, got engine={engine!r} "
+            f"discipline={discipline!r}"
+        )
     if mode == "none":
-        entries = [mux] * len(envelopes)
+        entries: list = [mux] * len(envelopes)
     elif mode == "sigma-rho":
         entries = [
             TokenBucketComponent(sim, e.sigma, e.rho / capacity, mux)
@@ -168,10 +252,10 @@ def build_regulated_host(
         ]
     else:  # sigma-rho-lambda
         vacation_cls = (
-            BatchVacationComponent if engine == "batched" else VacationComponent
+            BatchVacationComponent
+            if engine in _BATCH_ENGINES
+            else VacationComponent
         )
-        plan = controller.build_stagger_plan()
-        base = (stagger_phase % 1.0) * plan.period
         entries = [
             vacation_cls(
                 sim,
@@ -182,6 +266,34 @@ def build_regulated_host(
             )
             for reg, off in zip(plan.regulators, plan.offsets)
         ]
+    if primed_traces:
+        dep_parts: list[np.ndarray] = []
+        size_parts: list[np.ndarray] = []
+        for f in sorted(primed_traces):
+            trace = primed_traces[f]
+            if not 0 <= f < len(envelopes):
+                raise ValueError(f"primed flow id {f} out of range")
+            if mode == "sigma-rho":
+                e = envelopes[f]
+                deps, _ = sigma_rho_departures(
+                    trace.times, trace.sizes, e.sigma, e.rho / capacity
+                )
+            elif mode == "sigma-rho-lambda":
+                deps, _ = vacation_departures(
+                    trace.times, trace.sizes, plan.regulators[f],
+                    offset=base + plan.offsets[f], out_rate=capacity,
+                )
+            else:  # none: arrivals feed the MUX directly
+                deps = trace.times
+            dep_parts.append(np.asarray(deps, dtype=np.float64))
+            size_parts.append(np.asarray(trace.sizes, dtype=np.float64))
+            entries[f] = _PrimedEntry(f)
+        merged_t = np.concatenate(dep_parts) if dep_parts else np.empty(0)
+        merged_s = np.concatenate(size_parts) if size_parts else np.empty(0)
+        # Stable sort keeps flow-injection order at equal instants --
+        # the same tie-break the evented event sequence realises.
+        order = np.argsort(merged_t, kind="stable")
+        mux.prime_background(merged_t[order], merged_s[order])
     return entries, mux
 
 
@@ -215,14 +327,15 @@ def simulate_regulated_host(
         Keep running after the horizon until every queued packet is
         delivered, so worst-case delays are not truncated.
     engine:
-        ``"batched"`` (default) or ``"legacy"`` -- see
-        :func:`build_regulated_host`.  For the staggered-vacation host
-        under the adversarial discipline the batched engine skips the
-        event loop entirely: all arrivals are known up front, so the
-        cell collapses into the array fast path
-        (:func:`repro.simulation.batched.primed_vacation_host`) with
-        one kernel pass per vacation busy train -- bit-identical
-        delays, orders of magnitude fewer events.
+        ``"batched"`` (default), ``"evented"`` or ``"legacy"`` -- see
+        :func:`build_regulated_host`.  For *any* regulated host under
+        the adversarial discipline the batched engine skips the event
+        loop entirely: all arrivals are known up front, so the cell
+        collapses into the array fast path
+        (:func:`repro.simulation.batched.primed_adversarial_host`) --
+        token-bucket and vacation departures are both closed form --
+        with bit-identical delays and orders of magnitude fewer
+        events.
 
     Returns
     -------
@@ -236,30 +349,22 @@ def simulate_regulated_host(
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     # Resolve the effective mode up front (the builders resolve it the
-    # same way; needed here to route the primed fast path).
-    effective_mode = mode
-    if mode == "adaptive":
-        ctrl = AdaptiveController(envelopes, capacity)
-        effective_mode = (
-            "sigma-rho"
-            if ctrl.select_mode() is ControlMode.SIGMA_RHO
-            else "sigma-rho-lambda"
-        )
+    # same way; needed here to route the primed fast paths).
+    effective_mode = resolve_mode(mode, envelopes, capacity)
     if horizon is None:
         horizon = max(tr.times[-1] + 1e-9 for tr in traces if len(tr))
     if (
         engine == "batched"
-        and effective_mode == "sigma-rho-lambda"
+        and effective_mode in PRIMED_MODES
         and discipline == "adversarial"
     ):
-        plan = AdaptiveController(envelopes, capacity).build_stagger_plan()
-        base = (stagger_phase % 1.0) * plan.period
         restricted = [tr.restrict(horizon) for tr in traces]
-        outcome = primed_vacation_host(
+        outcome = primed_adversarial_host(
             [(tr.times, tr.sizes) for tr in restricted],
-            plan.regulators,
-            [base + off for off in plan.offsets],
+            envelopes,
+            effective_mode,
             capacity=capacity,
+            stagger_phase=stagger_phase,
             horizon=horizon,
             drain=drain,
         )
@@ -272,6 +377,7 @@ def simulate_regulated_host(
             per_flow=per_flow,
             events=outcome.batch_events,
             cancelled_events=0,
+            primed=True,
         )
     sim = Simulator()
     recorder = DelayRecorder(sim)

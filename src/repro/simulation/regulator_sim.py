@@ -90,6 +90,18 @@ class TokenBucketComponent:
         self._queue.append(packet)
         self._drain()
 
+    def receive_batch(self, packets) -> None:
+        """Accept several packets arriving at the current instant (one
+        replicated busy period from a batched MUX release).
+
+        Equivalent to sequential :meth:`receive` calls: the extra
+        refills sequential receives would perform are zero-elapsed
+        (``tokens + rho * 0.0 == tokens``), so one drain pass over the
+        longer queue yields identical departures.
+        """
+        self._queue.extend(packets)
+        self._drain()
+
     def _drain(self) -> None:
         self._refill()
         while self._queue and self._tokens >= self._queue[0].size - 1e-15:

@@ -9,8 +9,16 @@ ground truth the critical-path reduction is validated against in
 ``tests/test_tree_sim.py`` -- and a realistic substrate in its own
 right (per-receiver delays, loss hooks, churn interplay).
 
-Cost: events scale with (members x packets x K), so whole-tree runs
-target small-to-medium configurations; the sweeps use the reduction.
+Cost: the legacy engine pays events scaling with
+(members x packets x K).  The batched engine under the adversarial
+discipline is *busy-period bound* instead: the K-1 cross flows at
+every member are known up front, so their regulator departures fold
+into each host's MUX as a zero-event background train
+(:meth:`repro.simulation.batched.BatchMuxServer.prime_background`),
+and replication commits **one fanout event per MUX busy period per
+child** -- the released busy period travels as one packet batch --
+instead of one event per packet per child.  Only the tagged flow's
+root injection remains per-packet.
 """
 
 from __future__ import annotations
@@ -41,6 +49,10 @@ class TreeSimResult:
     worst_receiver: int
     per_receiver_worst: dict[int, float]
     events: int
+    #: Whether cross traffic was folded closed-form into every member's
+    #: MUX and replication ran busy-period batched (batched engine +
+    #: adversarial discipline).
+    primed: bool = False
 
     def stats(self) -> DelayStats:
         return DelayStats.from_delays(
@@ -49,7 +61,16 @@ class TreeSimResult:
 
 
 class _Replicator:
-    """Fan a served packet out to every child entry (plus local delivery)."""
+    """Fan a served packet out to every child entry (plus local delivery).
+
+    Two paths: the per-packet :meth:`receive` (legacy engine, FIFO
+    deliveries) copies each packet per child with its ``hops`` counter
+    bumped; the busy-period :meth:`receive_batch` (adversarial batched
+    MUX release) forwards the released batch as **one event per child,
+    sharing the packet objects** -- nothing downstream mutates them and
+    delays are measured against ``t_emit`` alone, so the copies (and
+    their ``hops`` bookkeeping) are pure churn the fast path skips.
+    """
 
     def __init__(
         self,
@@ -58,12 +79,14 @@ class _Replicator:
         flow_id: int,
         children_entries: Sequence[tuple[int, object, float]],
         deliver,
+        deliver_batch,
     ):
         self.sim = sim
         self.host = host
         self.flow_id = flow_id
         self.children_entries = children_entries  # (child, entry, latency)
         self.deliver = deliver
+        self.deliver_batch = deliver_batch
 
     def receive(self, packet: Packet) -> None:
         # Local delivery at this host (it is a receiver too).
@@ -76,6 +99,14 @@ class _Replicator:
                 hops=packet.hops + 1,
             )
             self.sim.schedule_in(latency, entry.receive, copy)
+
+    def receive_batch(self, packets: Sequence[Packet]) -> None:
+        """Deliver and replicate one released busy period: a single
+        vectorised local update plus one fanout event per child."""
+        self.deliver_batch(self.host, packets)
+        sim = self.sim
+        for child, entry, latency in self.children_entries:
+            sim.schedule_in(latency, entry.receive_batch, packets)
 
 
 def simulate_multicast_tree(
@@ -135,6 +166,11 @@ def simulate_multicast_tree(
         raise ValueError("traces and envelopes must align")
     if horizon is None:
         horizon = max(float(tr.times[-1]) for tr in traces if len(tr)) + 1e-9
+    # Busy-period fast path: cross traffic folds into each member's MUX
+    # closed-form, replication batches per busy period.  Adversarial
+    # delivery instants are tie-order invariant, which is what makes
+    # the folding exact (see the batched-module docstring).
+    primed = engine == "batched" and discipline == "adversarial"
 
     sim = Simulator()
     per_receiver: dict[int, float] = {}
@@ -143,6 +179,13 @@ def simulate_multicast_tree(
         if flow_id != group:
             return
         delay = sim.now - packet.t_emit
+        if delay > per_receiver.get(host, 0.0):
+            per_receiver[host] = delay
+
+    def deliver_batch(host: int, packets: Sequence[Packet]) -> None:
+        # One released busy period, all delivered now: the worst delay
+        # of the batch is measured against its earliest emission.
+        delay = sim.now - min(p.t_emit for p in packets)
         if delay > per_receiver.get(host, 0.0):
             per_receiver[host] = delay
 
@@ -155,12 +198,18 @@ def simulate_multicast_tree(
     env_order = [envelopes[group]] + [
         envelopes[g] for g in range(k) if g != group
     ]
+    cross = [traces[g].restrict(horizon) for g in range(k) if g != group]
+    primed_map = (
+        {f: tr for f, tr in enumerate(cross, start=1)} if primed else None
+    )
     for host in order:
         child_entries = [
             (c, entries_by_host[c][0], float(latency[host, c]))
             for c in children[host]
         ]
-        replicator = _Replicator(sim, host, group, child_entries, deliver)
+        replicator = _Replicator(
+            sim, host, group, child_entries, deliver, deliver_batch
+        )
         sink_map: dict[int, object] = {0: replicator}
         for f in range(1, k):
             sink_map[f] = _Drop()
@@ -172,17 +221,23 @@ def simulate_multicast_tree(
             mode=mode, capacity=cap, discipline=discipline,
             stagger_phase=(hash(host) % 997) / 997.0,
             engine=engine,
+            primed_traces=primed_map,
         )
         entries_by_host[host] = entries
 
-    # Inject the tagged flow at the root and the K-1 cross flows at
-    # every member (each host serves all K groups).
+    # Inject the K-1 cross flows at every member (each host serves all
+    # K groups) -- unless they were primed closed-form above -- and
+    # then the tagged flow at the root.  Cross flows go first so that
+    # at equal-time ties cross arrivals precede tagged ones everywhere
+    # (fanout events always carry later sequence numbers than
+    # injections), which is exactly the order the background fold
+    # realises: all three engines agree on every tie.
+    if not primed:
+        for host in tree.members():
+            for f, tr in enumerate(cross, start=1):
+                inject_trace(sim, tr, f, entries_by_host[host][f])
     root_entry = entries_by_host[tree.root][0]
     inject_trace(sim, traces[group].restrict(horizon), 0, root_entry)
-    cross = [traces[g].restrict(horizon) for g in range(k) if g != group]
-    for host in tree.members():
-        for f, tr in enumerate(cross, start=1):
-            inject_trace(sim, tr, f, entries_by_host[host][f])
 
     sim.run()
     if not per_receiver:
@@ -195,6 +250,7 @@ def simulate_multicast_tree(
         worst_receiver=worst_host,
         per_receiver_worst=dict(per_receiver),
         events=sim.events_processed,
+        primed=primed,
     )
 
 

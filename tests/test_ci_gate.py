@@ -1,0 +1,65 @@
+"""The nightly baseline gate, wired end to end (PR-5 satellite).
+
+The PR-4 mechanism (``scenarios run --baseline`` / ``scenarios diff``)
+is only a regression net if a pinned baseline store actually exists
+and matches what a fresh run of the same matrix produces.  These tests
+keep the checked-in ``ci/baseline_smoke`` store honest:
+
+* it must load cleanly, cover exactly the tier-1 smoke campaign's 24
+  cells (``generate_scenarios(24, seed=11)``, the same matrix
+  ``tests/test_runtime_campaign.py`` runs), and contain no failures;
+* a fresh evaluation of that matrix must gate cleanly against it --
+  cell keys are content hashes, so any drift in spec hashing, seeding
+  or verdicts breaks the diff loudly here rather than at night;
+* ``ci/gate.sh`` must keep pointing at the pinned store and matrix.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import diff_records, open_store, run_campaign
+from repro.runtime.store import cell_key
+from repro.scenarios import generate_scenarios
+
+pytestmark = pytest.mark.runtime
+
+REPO = Path(__file__).resolve().parents[1]
+BASELINE = REPO / "ci" / "baseline_smoke"
+GATE = REPO / "ci" / "gate.sh"
+
+#: The tier-1 smoke campaign (must match ci/gate.sh and
+#: tests/test_runtime_campaign.py).
+N_SMOKE, SMOKE_SEED = 24, 11
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    store = open_store(BASELINE, must_exist=True)
+    return store.load()
+
+
+def test_pinned_baseline_covers_the_smoke_matrix(pinned):
+    matrix = generate_scenarios(N_SMOKE, seed=SMOKE_SEED)
+    assert set(pinned) == {cell_key(sc) for sc in matrix}
+    assert all(rec["sound"] and not rec["error"] for rec in pinned.values())
+    assert all(rec.get("budget_ok", True) for rec in pinned.values())
+
+
+def test_fresh_smoke_run_gates_clean_against_pinned(pinned, tmp_path):
+    matrix = generate_scenarios(N_SMOKE, seed=SMOKE_SEED)
+    campaign = run_campaign(matrix, store=tmp_path / "fresh")
+    assert campaign.clean
+    fresh = open_store(tmp_path / "fresh").load()
+    diff = diff_records(pinned, fresh)
+    # strict: coverage loss is a regression too.
+    assert diff.gate(strict=True), diff.summary_lines()
+    assert not diff.added and not diff.removed
+
+
+def test_gate_script_targets_the_pinned_store():
+    text = GATE.read_text()
+    assert "ci/baseline_smoke" in text
+    assert f"--count {N_SMOKE}" in text and f"--seed {SMOKE_SEED}" in text
+    assert "--baseline" in text
+    assert GATE.stat().st_mode & 0o111, "ci/gate.sh must be executable"

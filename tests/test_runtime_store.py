@@ -9,6 +9,7 @@ contract both backends share; concurrency-specific coverage lives in
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -115,6 +116,63 @@ class TestFactory:
     def test_instances_pass_through(self, tmp_path):
         store = open_store(tmp_path)
         assert open_store(store) is store
+
+    def test_open_store_rejects_non_path_targets(self, tmp_path, monkeypatch):
+        """Regression: a non-path object used to be str()-coerced into a
+        literal '<... object at 0x...>' directory in the cwd."""
+        monkeypatch.chdir(tmp_path)
+        for bogus in (object(), 123, ["a"], None):
+            with pytest.raises(TypeError, match="ResultStore instance"):
+                open_store(bogus)
+        assert list(tmp_path.iterdir()) == []  # nothing conjured
+
+    def test_open_store_accepts_path_like_objects(self, tmp_path):
+        """Anything implementing __fspath__ (py.path.local, custom
+        path types) keeps working -- the guard targets stray objects,
+        not the os.PathLike protocol."""
+
+        class _FsPath:
+            def __init__(self, p):
+                self._p = str(p)
+
+            def __fspath__(self):
+                return self._p
+
+        store = open_store(_FsPath(tmp_path / "pathlike"))
+        assert isinstance(store, JsonlResultStore)
+        assert store.root == tmp_path / "pathlike"
+        assert isinstance(JsonlResultStore(_FsPath(tmp_path / "j2")).root, Path)
+
+    def test_backend_constructors_reject_store_instances(
+        self, tmp_path, monkeypatch
+    ):
+        """Passing a ResultStore where a root path is expected must fail
+        loudly instead of mkdir-ing the instance's repr."""
+        monkeypatch.chdir(tmp_path)
+        store = open_store(tmp_path / "real")
+        with pytest.raises(TypeError, match="open_store"):
+            JsonlResultStore(store)
+        with pytest.raises(TypeError, match="open_store"):
+            SqliteResultStore(store)
+        with pytest.raises(TypeError):
+            JsonlResultStore(4.2)
+        assert not any(
+            "object at 0x" in p.name for p in tmp_path.iterdir()
+        )
+
+    def test_run_campaign_accepts_store_instance(self, tmp_path, monkeypatch):
+        """run_campaign(store=<instance>) must use the instance as-is."""
+        from repro.runtime import run_campaign
+        from repro.scenarios import generate_scenarios
+
+        monkeypatch.chdir(tmp_path)
+        store = open_store(tmp_path / "inst")
+        campaign = run_campaign(generate_scenarios(2, seed=3), store=store)
+        assert campaign.store_records == 2
+        assert len(store.load()) == 2
+        assert not any(
+            "object at 0x" in p.name for p in tmp_path.iterdir()
+        )
 
     def test_base_class_requires_target(self):
         with pytest.raises(TypeError):

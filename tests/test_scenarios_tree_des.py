@@ -95,10 +95,19 @@ class TestWholeTreeSoundness:
 @pytest.mark.scenario
 @pytest.mark.parametrize("seed", [42, 43])
 def test_hundred_member_tree_is_sound(seed):
-    """The ROADMAP open item: 100+ member DSCT trees, packet-exact."""
+    """The ROADMAP open item: 100+ member DSCT trees, packet-exact.
+
+    The magnitude guard is engine-aware since PR 5: the batched tree
+    is busy-period bound (cross traffic folds into the MUXes with no
+    events, replication commits one event per busy period per child),
+    so the same 108-member cell that cost the legacy chain > 50k
+    events now runs primed in a few thousand -- still far above any
+    trivially truncated run.
+    """
     outcome = run_scenario(_tree_des(108, seed=seed, horizon=0.8))
     assert outcome.sound, (
         f"measured={outcome.measured:.6g} > bound={outcome.bound:.6g}"
     )
-    assert outcome.events > 50_000
+    assert outcome.primed
+    assert outcome.events > 5_000
     assert outcome.height_ok
