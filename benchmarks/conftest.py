@@ -27,6 +27,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PR3_PATH = _REPO_ROOT / "BENCH_pr3.json"
 BENCH_PR4_PATH = _REPO_ROOT / "BENCH_pr4.json"
 BENCH_PR5_PATH = _REPO_ROOT / "BENCH_pr5.json"
+BENCH_PR6_PATH = _REPO_ROOT / "BENCH_pr6.json"
 
 
 @pytest.fixture(scope="session")
@@ -99,6 +100,14 @@ def bench_pr5():
     data: dict = {}
     yield data
     _merge_bench_file(BENCH_PR5_PATH, 5, data)
+
+
+@pytest.fixture(scope="session")
+def bench_pr6():
+    """Collects PR-6 cell-matrix metrics; merged into ``BENCH_pr6.json``."""
+    data: dict = {}
+    yield data
+    _merge_bench_file(BENCH_PR6_PATH, 6, data)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

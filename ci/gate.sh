@@ -2,15 +2,19 @@
 # Nightly/CI baseline gate: run the tier-1 smoke campaign (the same
 # 24-cell matrix tests/test_runtime_campaign.py keeps alive) against
 # the pinned baseline store checked in at ci/baseline_smoke, and fail
-# on any soundness or perf-budget regression.
+# on any soundness or perf-budget regression.  Then re-run the same
+# matrix through the grouped (structure-of-arrays) evaluator and the
+# per-cell evaluator and require byte-identical summaries -- the
+# grouped path's bit-identity contract, gated end to end.
 #
 # Usage: ci/gate.sh [STORE_DIR]
 #   STORE_DIR  where to write the fresh campaign store
 #              (default: a temporary directory)
 #
 # Exit status: 0 when the campaign is clean AND the diff against the
-# pinned baseline shows no regression; 1 otherwise (the CLI's
-# --baseline flag gates in one shot).
+# pinned baseline shows no regression AND the grouped/per-cell
+# summaries match byte for byte; 1 otherwise (the CLI's --baseline
+# flag gates the first part in one shot).
 #
 # To re-pin the baseline after an intentional change:
 #   PYTHONPATH=src python -m repro.experiments.cli scenarios run \
@@ -28,3 +32,20 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
   --baseline ci/baseline_smoke
 
 echo "baseline gate: clean (store: $STORE)"
+
+# Grouped vs per-cell bit-identity: same matrix, both evaluators,
+# byte-identical summary.json required.
+SOA_DIR="$(mktemp -d)"
+for variant in group-cells no-group-cells; do
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+    scenarios run \
+    --count 24 --seed 11 --no-corpus \
+    --"$variant" \
+    --store "$SOA_DIR/$variant" >/dev/null
+done
+if ! cmp "$SOA_DIR/group-cells/summary.json" \
+         "$SOA_DIR/no-group-cells/summary.json"; then
+  echo "grouped gate: FAILED (grouped and per-cell summaries differ)" >&2
+  exit 1
+fi
+echo "grouped gate: clean (grouped == per-cell, byte-identical summary)"

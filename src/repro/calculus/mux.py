@@ -24,11 +24,19 @@ from repro.calculus.envelope import ArrivalEnvelope, aggregate_envelope
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = [
+    "STABILITY_TOL",
     "mux_is_stable",
     "mux_delay_bound_heterogeneous",
     "mux_delay_bound_homogeneous",
     "mux_backlog_bound",
 ]
+
+#: Relative tolerance of the stability condition ``sum rho_i <= C``:
+#: loads within ``C * STABILITY_TOL`` of the critical point still count
+#: as stable.  Shared by every bound implementation (scalar and batch)
+#: so a cell at the exact critical load gets the same finite/infinite
+#: classification from Remark 1 and Theorem 1 alike.
+STABILITY_TOL = 1e-12
 
 
 def mux_is_stable(
@@ -36,7 +44,7 @@ def mux_is_stable(
 ) -> bool:
     """The paper's stability condition ``sum_i rho_i <= C``."""
     check_positive(capacity, "capacity")
-    return sum(e.rho for e in envelopes) <= capacity + 1e-12
+    return sum(e.rho for e in envelopes) <= capacity * (1.0 + STABILITY_TOL)
 
 
 def mux_delay_bound_heterogeneous(
@@ -45,15 +53,21 @@ def mux_delay_bound_heterogeneous(
     """Remark 1, heterogeneous form: ``D_g = sum(sigma_i) / (C - sum(rho_i))``.
 
     Returns ``inf`` when the stability condition fails (the backlog, and
-    hence the worst-case delay, is unbounded).
+    hence the worst-case delay, is unbounded).  Loads within
+    ``C * STABILITY_TOL`` of the critical point count as stable --
+    matching :func:`repro.core.delay_bounds.theorem1_wdb_heterogeneous`,
+    so the two bounds never disagree on finiteness at the boundary --
+    and are priced at the tolerance-wide slack.
     """
     check_positive(capacity, "capacity")
     if not envelopes:
         raise ValueError("at least one input envelope is required")
     agg = aggregate_envelope(envelopes)
     slack = capacity - agg.rho
-    if slack <= 0:
+    if slack < -STABILITY_TOL * capacity:
         return float("inf")
+    if slack <= 0.0:
+        slack = STABILITY_TOL * capacity
     return agg.sigma / slack
 
 

@@ -25,6 +25,7 @@ from typing import Sequence
 
 from repro.calculus.envelope import ArrivalEnvelope
 from repro.calculus.mux import (
+    STABILITY_TOL,
     mux_delay_bound_heterogeneous,
     mux_delay_bound_homogeneous,
 )
@@ -119,7 +120,7 @@ def theorem1_wdb_heterogeneous(
     # Normalise to C = 1 (Section III: release the assumption by scaling).
     sig = [s / capacity for s in sigmas]
     rho = [r / capacity for r in rhos]
-    if sum(rho) > 1.0 + 1e-12:
+    if sum(rho) > 1.0 + STABILITY_TOL:
         return float("inf")
     stars = reduced_sigma_star(sig, rho)
     mux_term = sum(s_star / (1.0 - r) for s_star, r in zip(stars, rho))
@@ -154,7 +155,7 @@ def theorem2_wdb_homogeneous(
         sigma0 = sigma
     else:
         sigma0 = check_positive(sigma0, "sigma0") / capacity
-    if k * rho > 1.0 + 1e-12:
+    if k * rho > 1.0 + STABILITY_TOL:
         return float("inf")
     lam = 1.0 / (1.0 - rho)
     mux_term = k * sigma / (1.0 - rho)

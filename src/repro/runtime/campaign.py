@@ -287,6 +287,7 @@ def run_campaign(
     progress: Optional[callable] = None,
     tick: Optional[callable] = None,
     cost_model: Union[str, None, "CellCostModel"] = "auto",
+    group_cells: Optional[bool] = None,
 ) -> CampaignReport:
     """Evaluate ``scenarios`` with persistence and resume/skip.
 
@@ -315,6 +316,12 @@ def run_campaign(
     cost-aware scheduling, and an explicit
     :class:`repro.runtime.cost.CellCostModel` is used as given.
     Scheduling-only in every case: cell outcomes are bit-identical.
+
+    ``group_cells`` is forwarded to :func:`run_batch`: ``None`` (the
+    default) lets the structure-of-arrays grouped evaluator kick in
+    automatically on in-process executors, ``True``/``False`` force it
+    on/off.  Throughput-only -- outcomes and store records are
+    bit-identical either way (``wall_time`` attribution aside).
     """
     from repro.runtime.cost import CellCostModel
 
@@ -360,6 +367,7 @@ def run_campaign(
             progress=progress,
             tick=tick,
             cost_model=model,
+            group_cells=group_cells,
         )
         if todo
         else _empty_report()

@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_COEFFICIENTS",
     "BACKEND_VARIANCE",
     "CellCostModel",
+    "spec_group_key",
     "plan_chunks",
     "backend_profile",
 ]
@@ -109,7 +110,14 @@ def _spec_features(spec: Any) -> tuple[str, float]:
         if isinstance(spec, Mapping)
         else lambda name, default=None: getattr(spec, name, default)
     )
-    backend = str(get("backend", get("eff_backend", "fluid")))
+    # Prefer the recorded execution fact over the requested backend: a
+    # des cell that fell back to the fluid engine (`_des_lambda_fit`
+    # returning None) records ``backend="des", eff_backend="fluid"`` and
+    # must be priced as fluid -- classifying it under ``des`` would drag
+    # the des coefficient down with fluid wall clocks.  Specs (no
+    # ``eff_backend`` yet) keep using the requested backend.
+    eff_backend = get("eff_backend", None)
+    backend = str(eff_backend if eff_backend is not None else get("backend", "fluid"))
     horizon = float(get("horizon", 2.0) or 2.0)
     k = float(get("k", 0) or len(get("kinds", ()) or ()) or 2)
     hops = float(get("hops", 1) or 1)
@@ -221,6 +229,27 @@ class CellCostModel:
         return cls(coefficients=coeffs, variance=dict(prior.variance))
 
 
+def spec_group_key(spec: Any) -> tuple:
+    """Structural SoA-group key of a scenario *spec* (no realisation).
+
+    The scheduling-layer twin of ``repro.scenarios.cellmatrix.group_key``:
+    that one keys *realised* cells (it knows the effective backend and
+    mode after fallbacks resolve); this one keys raw specs on the facts
+    available before realisation -- backend, discipline, topology, mode
+    shape, grid resolution.  Cells sharing a spec key land in the same
+    realised group unless a per-cell fallback splits them, so chunking
+    parallel submissions by this key keeps grouped-eligible cells
+    travelling together.
+    """
+    return (
+        str(getattr(spec, "backend", "fluid")),
+        str(getattr(spec, "discipline", "priority")),
+        str(getattr(spec, "topology", "host")),
+        str(getattr(spec, "mode", "adaptive")),
+        float(getattr(spec, "dt", 0.0)),
+    )
+
+
 def plan_chunks(
     costs: Sequence[float],
     jobs: int,
@@ -228,6 +257,7 @@ def plan_chunks(
     variances: Optional[Sequence[float]] = None,
     chunks_per_worker: int = 4,
     max_chunk: int = 16,
+    groups: Optional[Sequence] = None,
 ) -> list[list[int]]:
     """Cost-aware executor chunk plan over payload indices.
 
@@ -237,6 +267,12 @@ def plan_chunks(
     of its cells' predicted cost variance: high-variance (DES) cells
     travel in chunks of one or two, so a misprediction strands at most
     one cell's tail and idle workers steal the rest naturally.
+
+    ``groups`` (optional, one hashable key per cell -- see
+    :func:`spec_group_key`) makes chunks group-coherent: cells are
+    blocked by key before chunking, blocks are ordered by their
+    dearest cell, and no chunk spans two blocks -- so a worker that
+    batch-evaluates its chunk sees one SoA group per chunk.
 
     Every index appears in exactly one chunk; an empty ``costs`` yields
     an empty plan.  Scheduling-only: the executor still returns results
@@ -257,6 +293,22 @@ def plan_chunks(
             raise ValueError("one variance per cost is required")
         var_arr = np.asarray(variances, dtype=np.float64)
     order = np.argsort(-costs_arr, kind="stable")
+    if groups is not None:
+        if len(groups) != n:
+            raise ValueError("one group key per cost is required")
+        # Stable block-by-key: blocks keep dearest-first order inside,
+        # and are themselves ordered by their dearest member.
+        blocks: dict = {}
+        for idx in order:
+            blocks.setdefault(groups[int(idx)], []).append(idx)
+        order = [i for block in blocks.values() for i in block]
+        boundaries = set()
+        pos = 0
+        for block in blocks.values():
+            pos += len(block)
+            boundaries.add(pos)
+    else:
+        boundaries = None
     target = float(costs_arr.sum()) / max(1, jobs * chunks_per_worker)
     if target <= 0.0:
         target = float("inf")  # all-zero costs: fall back to count caps
@@ -264,14 +316,15 @@ def plan_chunks(
     chunk: list[int] = []
     chunk_cost = 0.0
     chunk_cap = max_chunk
-    for idx in order:
+    for pos, idx in enumerate(order):
         i = int(idx)
         # High-variance cells shrink the cap for the chunk they join.
         cap = max(1, int(round(max_chunk / (1.0 + 4.0 * float(var_arr[i])))))
         chunk_cap = min(chunk_cap, cap)
         chunk.append(i)
         chunk_cost += float(costs_arr[i])
-        if chunk_cost >= target or len(chunk) >= chunk_cap:
+        at_boundary = boundaries is not None and (pos + 1) in boundaries
+        if chunk_cost >= target or len(chunk) >= chunk_cap or at_boundary:
             plan.append(chunk)
             chunk, chunk_cost, chunk_cap = [], 0.0, max_chunk
     if chunk:

@@ -125,6 +125,12 @@ class Executor(ABC):
     kind: str = "abstract"
     #: Degree of parallelism (1 for the serial backend).
     jobs: int = 1
+    #: Whether callers may replace the per-payload worker stage with an
+    #: in-process batch-of-cells pass (the structure-of-arrays grouped
+    #: evaluator).  Only sound for in-process execution: pool backends
+    #: ship payloads to workers one chunk at a time, so grouping there
+    #: would serialise the batch through the parent instead.
+    supports_cell_grouping: bool = False
 
     @abstractmethod
     def map_tasks(
@@ -158,6 +164,7 @@ class SerialExecutor(Executor):
     """
 
     kind = "serial"
+    supports_cell_grouping = True
 
     def map_tasks(self, fn, payloads, *, progress=None, chunk_plan=None):
         if chunk_plan is not None:

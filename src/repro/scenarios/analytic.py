@@ -20,6 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.calculus.envelope import ArrivalEnvelope
+from repro.calculus.mux import STABILITY_TOL as _STAB_TOL
 
 __all__ = [
     "pack_envelopes",
@@ -27,8 +28,6 @@ __all__ = [
     "batch_remark1_wdb",
     "batch_bounds",
 ]
-
-_STAB_TOL = 1e-12
 
 
 def pack_envelopes(
@@ -91,12 +90,20 @@ def batch_remark1_wdb(
     rhos: np.ndarray,
     capacity: np.ndarray | float = 1.0,
 ) -> np.ndarray:
-    """Remark 1 baseline ``sum sigma_i / (C - sum rho_i)`` per row."""
+    """Remark 1 baseline ``sum sigma_i / (C - sum rho_i)`` per row.
+
+    Stability uses the same ``_STAB_TOL`` band as
+    :func:`batch_theorem1_wdb` (and the scalar bounds): rows whose load
+    sits within the tolerance of the critical point stay finite, priced
+    at the tolerance-wide slack -- so Theorem 1 and Remark 1 never
+    disagree on finiteness for the same row.
+    """
     s, r = _normalise(sigmas, rhos, capacity)
     agg_sigma = np.nansum(s, axis=1)
     slack = 1.0 - np.nansum(r, axis=1)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        out = np.where(slack > 0.0, agg_sigma / np.where(slack > 0.0, slack, 1.0), np.inf)
+    unstable = slack < -_STAB_TOL
+    safe = np.where(slack > 0.0, slack, _STAB_TOL)
+    out = np.where(unstable, np.inf, agg_sigma / safe)
     return out
 
 

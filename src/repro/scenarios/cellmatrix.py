@@ -1,0 +1,584 @@
+"""Structure-of-arrays grouped evaluation of a scenario matrix.
+
+The per-cell worker (:func:`repro.scenarios.runner.evaluate_cell`)
+realises and simulates one cell at a time: every cell pays its own
+kernel dispatch, regulator passes and curve bookkeeping even when the
+matrix holds hundreds of cells that differ only in parameters.  This
+module evaluates a *batch of cells* instead:
+
+1. **Lean realisation** -- each cell's traces and envelopes are
+   realised with the exact seed derivations of
+   :meth:`Scenario.realise_traces` / :meth:`realise_envelopes`, but the
+   mix is built once, the empirical sigma is measured once per unique
+   trace (:func:`_empirical_sigma_fast`, a flat-array restatement of
+   ``PacketTrace.empirical_sigma``) and fragmentation is memoised.
+   The tail (backend fallback, topology resolution) is delegated to
+   :func:`repro.scenarios.runner._realise_from` -- one source of truth.
+2. **Grouping** -- cells are keyed by
+   ``(backend, discipline, topology, mode shape)``; two group kernels
+   exist today, the adversarial fluid host and the adversarial primed
+   DES host.  Cells outside both groups -- and cells whose grouped
+   realisation or evaluation raises -- are re-run through
+   :func:`evaluate_cell` individually, so results (including error
+   tracebacks) match the per-cell path exactly; a failing cell fails
+   only its own verdict.
+3. **Packed evaluation** -- each fluid group packs its unique
+   (trace, envelope) lanes into padded ``(n_lanes, n_bins_max + 1)``
+   matrices and shapes them with the ``batch_fluid_*`` kernels of
+   :mod:`repro.simulation.fluid` in one vectorised pass per group; the
+   DES group runs :func:`repro.simulation.batched.primed_adversarial_worst`
+   per cell with the regulator pass deduplicated across flows sharing
+   a trace.
+
+Equivalence contract: grouped evaluation is throughput-only.  Every
+``CellResult`` field must equal the per-cell path bit for bit -- the
+shared-grid prefix property of the batch kernels, the exact-selection
+property of float min/max and the float-op-for-float-op lean replicas
+are what make that hold; ``tests/test_scenarios_cellmatrix.py``
+enforces it over the corpus and generated matrices.  Only the
+``wall_time`` attribution differs: group kernel time is amortised
+evenly over the group's cells.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.adaptive import AdaptiveController
+from repro.runtime.executor import TaskResult, _run_one
+from repro.scenarios.runner import (
+    CellResult,
+    _Realised,
+    _quant_eps,
+    _realise_from,
+    evaluate_cell,
+)
+from repro.scenarios.spec import Scenario
+from repro.simulation.batched import PRIMED_MODES, primed_adversarial_worst
+from repro.simulation.fluid import (
+    _adversarial_worst_arrays,
+    _default_drain_margin,
+    batch_fluid_next_empty,
+    batch_fluid_on_time,
+    batch_fluid_token_bucket,
+    batch_fluid_work_conserving,
+)
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "evaluate_grouped",
+    "group_key",
+]
+
+#: Ceiling on one packed fluid sub-batch, in float64 elements per
+#: matrix (lanes x padded grid).  Groups whose lanes exceed it are
+#: split into sub-batches of similar grid width (cells sorted by
+#: ``n_bins`` first, so padding waste stays small); splitting is
+#: invisible to results -- every kernel's valid prefix is independent
+#: of the batch it rides in.
+MAX_PACK_ELEMENTS = 4_000_000
+
+#: Ceiling on padding waste within one pack: a cell whose grid is more
+#: than this factor wider than the pack's narrowest starts a new pack.
+#: Every lane pads to the pack maximum, so without this cap one
+#: near-critical cell (drain margin ~ sigma/(C - rho) blows up the
+#: grid) would multiply the whole pack's kernel cost; with cells
+#: sorted ascending the waste per pack is bounded by the factor.
+MAX_PACK_WIDTH_RATIO = 1.3
+
+
+# ----------------------------------------------------------------------
+# Lean realisation
+# ----------------------------------------------------------------------
+def _empirical_sigma_fast(
+    times: np.ndarray, sizes: np.ndarray, rho: float
+) -> float:
+    """``PacketTrace.empirical_sigma`` without building the curve.
+
+    Restates ``PiecewiseLinearCurve.from_packet_arrivals(t, s)
+    .min_sigma(rho)`` on flat arrays.  Bit-identical: the staircase
+    interleaves a pre-jump and post-jump value at every unique time;
+    ``g_post[i] >= g_pre[i]`` and ``g_pre[i+1] <= g_post[i]`` make the
+    interleaved running minimum equal the running minimum over the
+    pre-jump values alone, and the supremum is attained at post-jump
+    positions -- float min/max select existing values, so dropping the
+    dominated positions changes no bits.
+    """
+    if times.shape[0] == 0:
+        return 0.0
+    uniq_t, inverse = np.unique(times, return_inverse=True)
+    jump = np.zeros(uniq_t.shape[0], dtype=np.float64)
+    np.add.at(jump, inverse, sizes)
+    cum = np.cumsum(jump)
+    ramp = rho * uniq_t
+    g_pre = np.concatenate(([0.0], cum[:-1])) - ramp
+    g_post = cum - ramp
+    run_min = np.minimum.accumulate(g_pre)
+    return float(max((g_post - run_min).max(), 0.0))
+
+
+def _lean_realise(
+    sc: Scenario, fragment_cache: dict, source_cache: dict
+) -> _Realised:
+    """Realise one cell with the per-cell path's exact float sequence.
+
+    Replicates :meth:`Scenario.realise_traces` (``mtu=None``) and
+    :meth:`Scenario.realise_envelopes` -- same seed derivations, same
+    generation order, same envelope arithmetic -- while building the
+    source list once per unique ``(kinds, utilization, capacity)``
+    instead of twice per cell (sources are pure parameter records:
+    equal construction inputs give bit-equal rates; ``mix.name``, the
+    only per-cell part, reaches nothing but the seed derivation, which
+    uses ``sc.name`` directly) and measuring each unique trace's
+    empirical sigma once instead of once per flow.
+    """
+    skey = (tuple(sc.kinds), sc.utilization, sc.capacity)
+    sources = source_cache.get(skey)
+    if sources is None:
+        sources = sc.mix().sources
+        source_cache[skey] = sources
+    rng = derive_seed(sc.seed, "scenario", sc.name)
+    traces = []
+    cache: dict[tuple[str, float], object] = {}
+    for g, (src, kind) in enumerate(zip(sources, sc.kinds)):
+        key = (kind, round(src.rate, 12))
+        if sc.shared and key in cache:
+            traces.append(cache[key])
+            continue
+        seed = derive_seed(rng, "trace", sc.name, kind if sc.shared else g)
+        trace = src.generate(sc.horizon, rng=seed)
+        cache[key] = trace
+        traces.append(trace)
+    if sc.start_offsets:
+        traces = [
+            tr.shifted(off) if off > 0 else tr
+            for tr, off in zip(traces, sc.start_offsets)
+        ]
+    env_cache: dict[tuple[int, float], ArrivalEnvelope] = {}
+    envelopes = []
+    for tr, src in zip(traces, sources):
+        ek = (id(tr), src.rate)
+        env = env_cache.get(ek)
+        if env is None:
+            sigma = _empirical_sigma_fast(tr.times, tr.sizes, src.rate)
+            env = ArrivalEnvelope(max(sigma, 1e-9), src.rate)
+            env_cache[ek] = env
+        envelopes.append(env)
+    return _realise_from(sc, traces, envelopes, fragment_cache)
+
+
+# ----------------------------------------------------------------------
+# Grouping
+# ----------------------------------------------------------------------
+def group_key(r: _Realised) -> Optional[tuple]:
+    """The SoA group of a realised cell, or ``None`` (per-cell only).
+
+    Group members must share every structural fact a packed kernel
+    depends on: effective backend, discipline, topology, effective mode
+    and (fluid) the grid resolution.  Capacities, envelopes, horizons
+    and flow counts may vary freely -- they are per-lane/per-cell
+    parameters of the kernels.
+    """
+    sc = r.scenario
+    if sc.topology != "host" or sc.discipline != "adversarial":
+        return None
+    if r.eff_backend == "fluid":
+        return ("fluid", "adversarial", "host", r.eff_mode, sc.dt)
+    if r.eff_backend == "des" and r.eff_mode in PRIMED_MODES:
+        return ("des", "adversarial", "host", r.eff_mode)
+    return None
+
+
+def _cell_result(r: _Realised, measured, events, cancelled, primed):
+    sc = r.scenario
+    return CellResult(
+        name=sc.name,
+        eff_mode=r.eff_mode,
+        eff_backend=r.eff_backend,
+        hops=r.hops,
+        propagation_total=float(sum(r.propagation)),
+        sigmas=tuple(float(e.sigma) for e in r.envelopes),
+        rhos=tuple(float(e.rho) for e in r.envelopes),
+        measured=float(measured),
+        events=int(events),
+        cancelled_events=int(cancelled),
+        height_ok=r.height_ok,
+        quant_eps=_quant_eps(r),
+        primed=primed,
+    )
+
+
+# ----------------------------------------------------------------------
+# DES group: primed adversarial hosts
+# ----------------------------------------------------------------------
+def _eval_des_group(
+    mode: str, members: Sequence[tuple[int, _Realised, float]]
+) -> list[Optional[CellResult]]:
+    """Evaluate one primed-DES group; ``None`` marks per-cell fallback."""
+    out: list[Optional[CellResult]] = []
+    dedupe = mode in ("sigma-rho", "none")
+    for _i, r, _prep in members:
+        try:
+            sc = r.scenario
+            traces = r.traces
+            # Same derivation (and the same all-empty ValueError) as
+            # simulate_regulated_host; the horizon always exceeds every
+            # emission, so its restrict() is the identity value-wise.
+            max(tr.times[-1] + 1e-9 for tr in traces if len(tr))
+            keys = (
+                [
+                    (id(tr), e.sigma, e.rho)
+                    for tr, e in zip(traces, r.envelopes)
+                ]
+                if dedupe
+                else None
+            )
+            worst, events = primed_adversarial_worst(
+                [(tr.times, tr.sizes) for tr in traces],
+                r.envelopes,
+                mode,
+                capacity=sc.capacity,
+                stagger_phase=sc.stagger_phase,
+                dep_cache={} if dedupe else None,
+                cache_keys=keys,
+            )
+            out.append(_cell_result(r, worst, events, 0, True))
+        except Exception:
+            out.append(None)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fluid group: adversarial fluid hosts
+# ----------------------------------------------------------------------
+class _FluidCell:
+    """One fluid cell's packed-evaluation state."""
+
+    __slots__ = (
+        "realised", "n_bins", "arr_rows", "arr_of_flow", "lane_params",
+        "measure_key",
+    )
+
+    def __init__(self, realised, n_bins, arr_rows, arr_of_flow,
+                 lane_params, measure_key):
+        self.realised = realised
+        self.n_bins = n_bins
+        #: Unique cumulative-arrival rows (one per shaped lane).
+        self.arr_rows = arr_rows
+        #: Flow index -> lane index into ``arr_rows``.
+        self.arr_of_flow = arr_of_flow
+        #: Per-lane shaper parameters (mode-dependent).
+        self.lane_params = lane_params
+        #: Flow index -> measurement-dedupe key (``None``: no sharing).
+        self.measure_key = measure_key
+
+
+def _binned_cum(tr, dt: float, horizon: float, total: float) -> np.ndarray:
+    """``concatenate(([0], cumsum(tr.restrict(horizon).binned_arrivals(dt, total))))``.
+
+    Fused: the restrict copy is skipped, its keep-mask is AND-ed into
+    the bin mask instead (masking preserves element order, so the
+    ``np.add.at`` accumulation order -- and every float -- matches).
+    """
+    n_bins = int(np.ceil(total / dt))
+    bins = np.zeros(n_bins, dtype=np.float64)
+    if len(tr):
+        idx = np.floor(tr.times / dt).astype(np.int64)
+        keep = (tr.times < horizon) & (idx < n_bins)
+        np.add.at(bins, idx[keep], tr.sizes[keep])
+    return np.concatenate(([0.0], np.cumsum(bins)))
+
+
+def _prep_fluid_cell(r: _Realised, mode: str, dt: float) -> _FluidCell:
+    """Realise one fluid cell's lanes (exceptions route to fallback).
+
+    Mirrors ``simulate_fluid_host`` head for head: horizon and drain
+    margin derivation, binned cumulative arrivals, the stagger plan and
+    its offsets.  Every predicate a scalar kernel would raise on
+    (``fluid_on_time`` window validation, the stagger-plan tiling
+    check) is evaluated here so violating cells fall back to the
+    per-cell path and reproduce its exact error.
+    """
+    sc = r.scenario
+    traces, envelopes = r.traces, r.envelopes
+    horizon = max(float(tr.times[-1]) for tr in traces if len(tr)) + dt
+    total = horizon + _default_drain_margin(envelopes, sc.capacity)
+    n_bins = int(np.ceil(total / dt))
+
+    arr_rows: list[np.ndarray] = []
+    arr_of_flow: list[int] = []
+    lane_of: dict[tuple, int] = {}
+    for tr in traces:
+        key = (id(tr),)
+        lane = lane_of.get(key)
+        if lane is None:
+            lane = len(arr_rows)
+            lane_of[key] = lane
+            arr_rows.append(_binned_cum(tr, dt, horizon, total))
+        arr_of_flow.append(lane)
+
+    k = len(traces)
+    if mode == "none":
+        # Shaping is the identity; one lane per unique arrival row.
+        lane_params = [()] * len(arr_rows)
+        shape_of_flow = list(arr_of_flow)
+        measure_key = list(arr_of_flow)
+    elif mode == "sigma-rho":
+        # One shaped lane per unique (arrival row, sigma, rho/C).
+        lane_params = []
+        shape_of_flow = []
+        shape_lane_of: dict[tuple, int] = {}
+        for f in range(k):
+            e = envelopes[f]
+            skey = (arr_of_flow[f], e.sigma, e.rho / sc.capacity)
+            lane = shape_lane_of.get(skey)
+            if lane is None:
+                lane = len(lane_params)
+                shape_lane_of[skey] = lane
+                lane_params.append(skey)
+            shape_of_flow.append(lane)
+        measure_key = list(shape_of_flow)
+    else:  # sigma-rho-lambda: per-flow offsets, one lane per flow
+        plan = AdaptiveController(envelopes, sc.capacity).build_stagger_plan()
+        base = (sc.stagger_phase % 1.0) * plan.period
+        lane_params = []
+        for f, (reg, off) in enumerate(zip(plan.regulators, plan.offsets)):
+            working, period = reg.working_period, reg.regulator_period
+            offset = base + off
+            # fluid_on_time's own validation, pre-flighted per lane.
+            if not (working > 0.0 and period > 0.0 and offset >= 0.0):
+                raise ValueError("invalid vacation window parameters")
+            if working > period + 1e-12:
+                raise ValueError(
+                    "working period cannot exceed the cycle period"
+                )
+            lane_params.append((arr_of_flow[f], working, period, offset))
+        shape_of_flow = list(range(k))
+        measure_key = [None] * k
+    return _FluidCell(
+        r, n_bins, arr_rows,
+        {"arr": arr_of_flow, "shape": shape_of_flow}, lane_params,
+        measure_key,
+    )
+
+
+def _fluid_subbatches(
+    cells: Sequence[tuple[int, _FluidCell]]
+) -> list[list[tuple[int, _FluidCell]]]:
+    """Split a fluid group into packs bounded by :data:`MAX_PACK_ELEMENTS`.
+
+    Cells are sorted by grid length so each pack pads to a similar
+    width; the split has no effect on results (kernel prefixes are
+    batch-independent), only on peak memory.
+    """
+    ordered = sorted(cells, key=lambda item: item[1].n_bins)
+    packs: list[list[tuple[int, _FluidCell]]] = []
+    cur: list[tuple[int, _FluidCell]] = []
+    lanes = 0
+    for item in ordered:
+        cell = item[1]
+        n_lanes = len(cell.lane_params)
+        width = cell.n_bins + 1  # sorted ascending: this is the pack max
+        if cur and (
+            (lanes + n_lanes) * width > MAX_PACK_ELEMENTS
+            or width > MAX_PACK_WIDTH_RATIO * (cur[0][1].n_bins + 1)
+        ):
+            packs.append(cur)
+            cur, lanes = [], 0
+        cur.append(item)
+        lanes += n_lanes
+    if cur:
+        packs.append(cur)
+    return packs
+
+
+def _eval_fluid_pack(
+    mode: str, dt: float, pack: Sequence[tuple[int, _FluidCell]]
+) -> dict[int, CellResult]:
+    """Shape + measure one packed sub-batch of fluid cells."""
+    n_max = max(cell.n_bins for _slot, cell in pack)
+    t_grid = dt * np.arange(n_max + 1)
+    lane_rows = []
+    lane_base: dict[int, int] = {}
+    sigmas, rhos = [], []
+    workings, periods, offsets, caps = [], [], [], []
+    for slot, cell in pack:
+        lane_base[slot] = len(lane_rows)
+        width = cell.n_bins + 1
+        for params in cell.lane_params:
+            if mode == "sigma-rho":
+                sigmas.append(params[1])
+                rhos.append(params[2])
+            elif mode == "sigma-rho-lambda":
+                workings.append(params[1])
+                periods.append(params[2])
+                offsets.append(params[3])
+                caps.append(cell.realised.scenario.capacity)
+        # "none" lanes are the arrival rows themselves.
+        rows = (
+            cell.arr_rows
+            if mode == "none"
+            else [cell.arr_rows[p[0]] for p in cell.lane_params]
+        )
+        for row in rows:
+            padded = np.empty(n_max + 1, dtype=np.float64)
+            padded[:width] = row
+            padded[width:] = row[-1]
+            lane_rows.append(padded)
+
+    packed = np.asarray(lane_rows) if lane_rows else np.zeros((0, n_max + 1))
+    if mode == "none" or packed.shape[0] == 0:
+        shaped = packed
+    elif mode == "sigma-rho":
+        shaped = batch_fluid_token_bucket(
+            packed, t_grid, np.asarray(sigmas), np.asarray(rhos)
+        )
+    else:
+        on = batch_fluid_on_time(
+            t_grid,
+            np.asarray(workings),
+            np.asarray(periods),
+            np.asarray(offsets),
+        )
+        service = np.asarray(caps)[:, None] * on
+        shaped = batch_fluid_work_conserving(packed, service)
+
+    # Per-cell aggregates of the shaped flows (duplicates included:
+    # np.sum over the k views runs the same stacked reduction as the
+    # scalar path's np.sum(shaped, axis=0)).
+    agg_pad = np.empty((len(pack), n_max + 1), dtype=np.float64)
+    cell_caps = np.empty(len(pack))
+    n_valid = np.empty(len(pack), dtype=np.int64)
+    for c, (slot, cell) in enumerate(pack):
+        base = lane_base[slot]
+        n = cell.n_bins
+        views = [
+            shaped[base + lane, : n + 1]
+            for lane in cell.arr_of_flow["shape"]
+        ]
+        agg = np.sum(views, axis=0)
+        agg_pad[c, : n + 1] = agg
+        agg_pad[c, n + 1:] = agg[n]
+        cell_caps[c] = cell.realised.scenario.capacity
+        n_valid[c] = n
+    next_empty = batch_fluid_next_empty(t_grid, agg_pad, cell_caps, n_valid)
+
+    results: dict[int, CellResult] = {}
+    for c, (slot, cell) in enumerate(pack):
+        base = lane_base[slot]
+        n = cell.n_bins
+        tg = t_grid[: n + 1]
+        ne = next_empty[c, : n + 1]
+        worst_cache: dict[int, float] = {}
+        per_flow_worst = []
+        k = len(cell.realised.traces)
+        for f in range(k):
+            mkey = cell.measure_key[f]
+            if mkey is not None and mkey in worst_cache:
+                per_flow_worst.append(worst_cache[mkey])
+                continue
+            arr = cell.arr_rows[cell.arr_of_flow["arr"][f]]
+            shp = shaped[base + cell.arr_of_flow["shape"][f], : n + 1]
+            worst = _adversarial_worst_arrays(tg, arr, shp, ne)
+            if mkey is not None:
+                worst_cache[mkey] = worst
+            per_flow_worst.append(worst)
+        results[slot] = _cell_result(
+            cell.realised, max(per_flow_worst), 0, 0, False
+        )
+    return results
+
+
+def _eval_fluid_group(
+    mode: str, dt: float, members: Sequence[tuple[int, _Realised, float]]
+) -> list[Optional[CellResult]]:
+    """Evaluate one fluid group; ``None`` marks per-cell fallback."""
+    out: list[Optional[CellResult]] = [None] * len(members)
+    cells: list[tuple[int, _FluidCell]] = []
+    for slot, (_i, r, _prep) in enumerate(members):
+        try:
+            cells.append((slot, _prep_fluid_cell(r, mode, dt)))
+        except Exception:
+            pass  # stays None: per-cell fallback reproduces the error
+    for pack in _fluid_subbatches(cells):
+        try:
+            for slot, cell_result in _eval_fluid_pack(mode, dt, pack).items():
+                out[slot] = cell_result
+        except Exception:
+            pass  # whole pack falls back per-cell
+    return out
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def evaluate_grouped(
+    scenarios: Sequence[Scenario],
+    *,
+    tick: Optional[callable] = None,
+) -> list[TaskResult]:
+    """Evaluate a matrix with SoA grouping; per-scenario task results.
+
+    The contract of ``SerialExecutor.map_tasks(evaluate_cell, ...)``:
+    one :class:`TaskResult` per scenario in input order, failures
+    captured per cell, bit-identical values.  ``tick(done, total)`` is
+    called as cells complete (grouped cells complete per group).
+    """
+    scenarios = list(scenarios)
+    n = len(scenarios)
+    results: list[Optional[TaskResult]] = [None] * n
+    fragment_cache: dict = {}
+    source_cache: dict = {}
+    groups: dict[tuple, list[tuple[int, _Realised, float]]] = {}
+    fallback: list[int] = []
+    done = 0
+
+    def _tick():
+        if tick is not None:
+            tick(done, n)
+
+    for i, sc in enumerate(scenarios):
+        # Spec-level short-circuit: group_key() rejects these whatever
+        # the realisation says, so skip the lean realisation entirely.
+        if sc.topology != "host" or sc.discipline != "adversarial":
+            fallback.append(i)
+            continue
+        t0 = time.perf_counter()
+        key = None
+        try:
+            r = _lean_realise(sc, fragment_cache, source_cache)
+            key = group_key(r)
+        except Exception:
+            key = None
+        prep = time.perf_counter() - t0
+        if key is None:
+            fallback.append(i)
+        else:
+            groups.setdefault(key, []).append((i, r, prep))
+
+    for i in fallback:
+        results[i] = _run_one(evaluate_cell, i, scenarios[i])
+        done += 1
+        _tick()
+
+    for key, members in groups.items():
+        t0 = time.perf_counter()
+        if key[0] == "des":
+            cell_results = _eval_des_group(key[3], members)
+        else:
+            cell_results = _eval_fluid_group(key[3], key[4], members)
+        share = (time.perf_counter() - t0) / max(len(members), 1)
+        for (i, _r, prep), cell in zip(members, cell_results):
+            if cell is None:
+                results[i] = _run_one(evaluate_cell, i, scenarios[i])
+            else:
+                results[i] = TaskResult(
+                    index=i, value=cell, wall_time=prep + share
+                )
+            done += 1
+            _tick()
+    return results

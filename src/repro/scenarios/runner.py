@@ -68,6 +68,7 @@ __all__ = [
     "ScenarioOutcome",
     "BatchReport",
     "evaluate_cell",
+    "evaluate_cells_grouped",
     "finalise_batch",
     "run_batch",
     "run_scenario",
@@ -375,6 +376,27 @@ def _realise(sc: Scenario) -> _Realised:
     # Empirical envelopes are fragmentation-invariant (fragments share
     # the original emission times), so measure them once on raw traces.
     envelopes = sc.realise_envelopes(raw)
+    return _realise_from(sc, raw, envelopes)
+
+
+def _realise_from(
+    sc: Scenario,
+    raw: Sequence[PacketTrace],
+    envelopes: Sequence[ArrivalEnvelope],
+    fragment_cache: Optional[dict] = None,
+) -> _Realised:
+    """Finish realising a scenario whose traces/envelopes are known.
+
+    The tail of :func:`_realise`, factored out so the grouped
+    cell-matrix evaluator (:mod:`repro.scenarios.cellmatrix`) can feed
+    its cached trace/envelope realisation through the *same* backend
+    fallback, fragmentation and topology resolution code -- one source
+    of truth for the effective execution facts.  ``fragment_cache``
+    (optional, keyed by ``(id(trace), mtu)``) memoises
+    :meth:`PacketTrace.fragment` across cells sharing trace objects;
+    fragmentation is deterministic, so sharing is exact.
+    """
+    envelopes = list(envelopes)
     eff_mode = sc.effective_mode(envelopes)
     backend, mtu, extra_eps = sc.backend, DEFAULT_MTU, 0.0
     if backend in ("des", "des_legacy") and eff_mode == "sigma-rho-lambda":
@@ -383,7 +405,21 @@ def _realise(sc: Scenario) -> _Realised:
             backend = "fluid"
         else:
             mtu, extra_eps = fit
-    traces = [tr.fragment(mtu) for tr in raw]
+    if fragment_cache is None:
+        traces = [tr.fragment(mtu) for tr in raw]
+    else:
+        traces = []
+        for tr in raw:
+            key = (id(tr), mtu)
+            # The cached entry pins the source trace: ids are only
+            # unique among *live* objects, so holding the reference
+            # keeps the key valid for the cache's whole lifetime (and
+            # the identity check catches any stale hit regardless).
+            entry = fragment_cache.get(key)
+            if entry is None or entry[0] is not tr:
+                entry = (tr, tr.fragment(mtu))
+                fragment_cache[key] = entry
+            traces.append(entry[1])
     tree_ctx = None
     if sc.topology == "tree":
         if backend in ("tree_des", "tree_des_legacy"):
@@ -523,6 +559,29 @@ def evaluate_cell(scenario: Scenario) -> CellResult:
     )
 
 
+def evaluate_cells_grouped(
+    scenarios: Sequence[Scenario],
+    *,
+    tick: Optional[callable] = None,
+) -> list[TaskResult]:
+    """Evaluate a matrix with structure-of-arrays cell grouping.
+
+    Cells sharing ``(backend, discipline, topology, mode shape)`` are
+    packed into parameter matrices and resolved by one vectorised pass
+    per group (:mod:`repro.scenarios.cellmatrix`); cells no group
+    kernel covers -- and cells whose grouped realisation raises -- fall
+    back to :func:`evaluate_cell` semantics individually, so results
+    (including error strings) are bit-identical to the per-cell path.
+
+    Returns one :class:`~repro.runtime.executor.TaskResult` per
+    scenario, in input order, exactly like
+    ``SerialExecutor.map_tasks(evaluate_cell, scenarios)``.
+    """
+    from repro.scenarios.cellmatrix import evaluate_grouped
+
+    return evaluate_grouped(scenarios, tick=tick)
+
+
 # ----------------------------------------------------------------------
 # Parent stages: vectorised bounds + verdicts
 # ----------------------------------------------------------------------
@@ -618,6 +677,7 @@ def run_batch(
     progress: Optional[callable] = None,
     tick: Optional[callable] = None,
     cost_model=None,
+    group_cells: Optional[bool] = None,
 ) -> BatchReport:
     """Evaluate a scenario matrix: parallel cells, vectorised bounds.
 
@@ -633,21 +693,44 @@ def run_batch(
     dearest-first submission in cost-equalised, variance-shrunk chunks
     (:func:`repro.runtime.cost.plan_chunks`).  Scheduling-only -- the
     outcomes are bit-identical with or without it.
+
+    ``group_cells`` routes the worker stage through the
+    structure-of-arrays grouped evaluator
+    (:func:`evaluate_cells_grouped`) instead of per-cell
+    :func:`evaluate_cell` calls.  ``None`` (the default) enables
+    grouping automatically when the executor runs in-process
+    (``Executor.supports_cell_grouping``); ``True`` forces it (still
+    in-process, bypassing the executor's worker pool); ``False``
+    disables it.  Grouping is throughput-only: outcomes are
+    bit-identical either way (``wall_time`` attribution aside, which
+    grouped evaluation estimates by amortising each group kernel over
+    its cells).
     """
+    # An empty matrix is a legal degenerate case (a shard that owns
+    # zero cells, `--shard i/N` with N > count): report nothing rather
+    # than raising, so sharded campaign scripts exit cleanly.
     if not scenarios:
-        raise ValueError("at least one scenario is required")
+        return BatchReport(outcomes=(), elapsed=0.0)
     scenarios = list(scenarios)
     t0 = time.perf_counter()
     ex = executor if executor is not None else SerialExecutor()
+    if group_cells is None:
+        group_cells = getattr(ex, "supports_cell_grouping", False)
+    if group_cells:
+        tasks = evaluate_cells_grouped(scenarios, tick=tick)
+        return finalise_batch(
+            scenarios, tasks, time.perf_counter() - t0, progress=progress
+        )
     plan = None
     if cost_model is not None and getattr(ex, "jobs", 1) > 1:
-        from repro.runtime.cost import plan_chunks
+        from repro.runtime.cost import plan_chunks, spec_group_key
 
         costs = cost_model.estimate_many(scenarios)
         plan = plan_chunks(
             costs,
             ex.jobs,
             variances=[cost_model.relative_variance(sc) for sc in scenarios],
+            groups=[spec_group_key(sc) for sc in scenarios],
         )
     tasks = ex.map_tasks(
         evaluate_cell, scenarios, progress=tick, chunk_plan=plan

@@ -90,6 +90,7 @@ __all__ = [
     "BatchMuxServer",
     "primed_vacation_host",
     "primed_adversarial_host",
+    "primed_adversarial_worst",
     "PrimedHostOutcome",
     "PRIMED_MODES",
 ]
@@ -928,3 +929,101 @@ def primed_adversarial_host(
         dep_list, emit_list, size_list,
         capacity=capacity, trains=trains_total, horizon=horizon, drain=drain,
     )
+
+
+def primed_adversarial_worst(
+    traces: Sequence[tuple[np.ndarray, np.ndarray]],
+    envelopes: Sequence,
+    mode: str,
+    *,
+    capacity: float = 1.0,
+    stagger_phase: float = 0.0,
+    dep_cache: Optional[dict] = None,
+    cache_keys: Optional[Sequence] = None,
+) -> tuple[float, int]:
+    """Worst delay (and batch-event count) of one primed adversarial
+    host cell, skipping the per-flow bookkeeping.
+
+    This is :func:`primed_adversarial_host` minus everything the
+    grouped cell-matrix evaluator does not consume: no per-flow delay
+    split, no delivery arrays, no :class:`PrimedHostOutcome`.  The
+    measured worst over *all* packets equals the per-cell
+    ``max(flow.worst)`` because delays are non-negative and the merged
+    array is exactly the concatenation of the per-flow splits.
+
+    ``dep_cache`` / ``cache_keys`` let a caller evaluating many cells
+    that share flow objects reuse regulator passes: flows whose
+    ``cache_keys[f]`` is not ``None`` and hashes equal are assumed to
+    have identical ``(times, sizes)`` arrays and regulator parameters
+    (only sound for ``"sigma-rho"`` / ``"none"`` -- the lambda mode's
+    per-flow stagger offsets differ between flows, so pass no keys
+    there).  Cache values are ``(departures, trains)`` tuples; the
+    departure arrays are never mutated, so sharing is safe.
+
+    Returns ``(worst_delay, batch_events)`` with ``drain=True``
+    semantics (every delivery kept).
+    """
+    if mode not in PRIMED_MODES:
+        raise ValueError(
+            f"primed_adversarial_worst supports modes {PRIMED_MODES}, "
+            f"got {mode!r}"
+        )
+    check_positive(capacity, "capacity")
+    k = len(traces)
+    dep_list: list[np.ndarray] = []
+    emit_list: list[np.ndarray] = []
+    size_list: list[np.ndarray] = []
+    trains_total = 0
+    if mode == "sigma-rho-lambda":
+        from repro.core.adaptive import AdaptiveController
+
+        plan = AdaptiveController(envelopes, capacity).build_stagger_plan()
+        base = (stagger_phase % 1.0) * plan.period
+        regulators = plan.regulators
+        offsets = [base + off for off in plan.offsets]
+    for f in range(k):
+        times, sizes = traces[f]
+        key = cache_keys[f] if cache_keys is not None else None
+        cached = (
+            dep_cache.get(key)
+            if dep_cache is not None and key is not None
+            else None
+        )
+        if cached is not None:
+            deps, trains = cached
+        else:
+            if mode == "sigma-rho":
+                env = envelopes[f]
+                deps, trains = sigma_rho_departures(
+                    times, sizes, env.sigma, env.rho / capacity
+                )
+            elif mode == "sigma-rho-lambda":
+                deps, trains = vacation_departures(
+                    times, sizes, regulators[f], offset=float(offsets[f]),
+                    out_rate=capacity,
+                )
+            else:  # none: arrivals feed the MUX directly
+                deps = np.ascontiguousarray(times, dtype=np.float64)
+                trains = 0
+            if dep_cache is not None and key is not None:
+                dep_cache[key] = (deps, trains)
+        trains_total += trains
+        dep_list.append(deps)
+        emit_list.append(np.asarray(times, dtype=np.float64))
+        size_list.append(np.asarray(sizes, dtype=np.float64))
+    arr = np.concatenate(dep_list) if dep_list else np.empty(0)
+    if arr.size == 0:
+        return 0.0, 0
+    emits = np.concatenate(emit_list)
+    sizes_all = np.concatenate(size_list)
+    # Same stable sort and busy-until recurrence as _merge_and_deliver:
+    # the merged delays are bit-identical, only the per-flow split and
+    # delivery bookkeeping are skipped.
+    order = np.argsort(arr, kind="stable")
+    arr = arr[order]
+    emits = emits[order]
+    tx = sizes_all[order] / capacity
+    delivery, busy_periods = _adversarial_mux_deliveries(arr, tx)
+    delays = delivery - emits
+    worst = float(max(delays.max(), 0.0))
+    return worst, trains_total + busy_periods

@@ -49,11 +49,21 @@ __all__ = [
     "fluid_on_time",
     "fluid_vacation_regulator",
     "fluid_mux",
+    "batch_fluid_work_conserving",
+    "batch_fluid_token_bucket",
+    "batch_fluid_on_time",
+    "batch_fluid_next_empty",
     "FluidHostResult",
     "simulate_fluid_host",
     "FluidChainResult",
     "simulate_fluid_chain",
 ]
+
+#: Interpolation tolerance of the lean first-passage replica -- the
+#: same value as :data:`repro.utils.piecewise._EPS`, on which the
+#: bit-identity of `_first_passage_arrays` with
+#: :meth:`PiecewiseLinearCurve.first_passage` rests.
+_CURVE_EPS = 1e-12
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +261,170 @@ def _compose_by_level(
     out[low] = np.minimum(arr_flow[0], out[low])
     np.minimum(out, arr_flow[-1], out=out)
     return out
+
+
+# ----------------------------------------------------------------------
+# Batched (structure-of-arrays) kernels
+# ----------------------------------------------------------------------
+# Many lanes (one lane = one flow of one cell) share a single grid whose
+# per-lane prefix ``t_grid[:n_i + 1]`` equals that lane's own grid; all
+# kernels here are elementwise/prefix operations along axis 1, so every
+# lane's valid prefix is bit-identical to the scalar kernel run on that
+# lane alone.  Rows are padded on the right; padded arrival tails must
+# be *flat* (repeat the last valid value) wherever a kernel's output is
+# consumed beyond pure prefix reads (see :func:`batch_fluid_next_empty`).
+
+
+def batch_fluid_work_conserving(
+    arrivals_cum: np.ndarray, service_cum: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`fluid_work_conserving` over ``(lanes, grid)`` matrices."""
+    gap = arrivals_cum - service_cum
+    np.minimum.accumulate(gap, axis=1, out=gap)
+    np.add(gap, service_cum, out=gap)
+    return gap
+
+
+def batch_fluid_token_bucket(
+    arrivals_cum: np.ndarray,
+    t_grid: np.ndarray,
+    sigmas: np.ndarray,
+    rhos: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`fluid_token_bucket`: lane ``i`` is shaped by
+    ``(sigmas[i], rhos[i])``.  All lanes share ``t_grid``."""
+    sigmas = np.asarray(sigmas, dtype=np.float64)
+    rhos = np.asarray(rhos, dtype=np.float64)
+    if np.any(sigmas <= 0):
+        raise ValueError("sigmas must be > 0")
+    if np.any(rhos < 0):
+        raise ValueError("rhos must be >= 0")
+    ramp = rhos[:, None] * t_grid[None, :]
+    run = arrivals_cum - ramp
+    np.minimum.accumulate(run, axis=1, out=run)
+    np.add(run, ramp, out=run)
+    run += sigmas[:, None]
+    np.minimum(arrivals_cum, run, out=run)
+    return run
+
+
+def batch_fluid_on_time(
+    t_grid: np.ndarray,
+    working: np.ndarray,
+    period: np.ndarray,
+    offset: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`fluid_on_time`: one window schedule per lane."""
+    working = np.asarray(working, dtype=np.float64)
+    period = np.asarray(period, dtype=np.float64)
+    offset = np.asarray(offset, dtype=np.float64)
+    if np.any(working <= 0):
+        raise ValueError("working periods must be > 0")
+    if np.any(period <= 0):
+        raise ValueError("cycle periods must be > 0")
+    if np.any(offset < 0):
+        raise ValueError("offsets must be >= 0")
+    if np.any(working > period + 1e-12):
+        raise ValueError("working period cannot exceed the cycle period")
+    shifted = np.maximum(t_grid[None, :] - offset[:, None], 0.0)
+    full = np.floor(shifted / period[:, None])
+    phase = shifted - full * period[:, None]
+    return full * working[:, None] + np.minimum(phase, working[:, None])
+
+
+def batch_fluid_next_empty(
+    t_grid: np.ndarray,
+    arrivals_agg: np.ndarray,
+    capacity: np.ndarray,
+    n_valid: np.ndarray,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Row-wise :func:`fluid_next_empty` over per-cell aggregate rows.
+
+    ``arrivals_agg[i]`` must be *flat-padded* beyond ``n_valid[i]``
+    (repeat the last valid value): the flat tail keeps the row-end
+    ``scale`` read equal to the scalar kernel's, and the padded region
+    of ``empty_times`` is forced to ``inf`` before the backward running
+    minimum so an unstable cell's ``inf`` tail is never masked by
+    padded-bin drainage.  Each row's valid prefix is then bit-identical
+    to the scalar kernel on that cell's own grid.
+    """
+    capacity = np.asarray(capacity, dtype=np.float64)
+    n_valid = np.asarray(n_valid, dtype=np.int64)
+    base = t_grid - t_grid[0]
+    dep = batch_fluid_work_conserving(arrivals_agg, capacity[:, None] * base)
+    backlog = arrivals_agg - dep
+    scale = np.maximum(arrivals_agg[:, -1], 1.0)
+    empty = backlog <= tol * scale[:, None]
+    empty_times = np.where(empty, t_grid[None, :], np.inf)
+    beyond = np.arange(t_grid.shape[0])[None, :] > n_valid[:, None]
+    empty_times[beyond] = np.inf
+    return np.minimum.accumulate(empty_times[:, ::-1], axis=1)[:, ::-1]
+
+
+def _first_passage_arrays(
+    t: np.ndarray, v: np.ndarray, levels: np.ndarray
+) -> np.ndarray:
+    """Lean replica of :meth:`PiecewiseLinearCurve.first_passage`.
+
+    Operates on the raw breakpoint arrays, skipping the curve
+    constructor (whose validation and defensive copies dominate the
+    scalar call for grid-sized arrays but never change the values) --
+    every arithmetic step below matches the method line for line, so
+    the outputs are bit-identical.
+    """
+    idx = np.searchsorted(v, levels, side="left")
+    out = np.empty_like(levels)
+    beyond = idx >= len(v)
+    out[beyond] = np.inf
+    ok = ~beyond
+    i = idx[ok]
+    prev = np.maximum(i - 1, 0)
+    t0, t1 = t[prev], t[i]
+    v0, v1 = v[prev], v[i]
+    rise = v1 - v0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frac = np.where(
+            rise > _CURVE_EPS,
+            (levels[ok] - v0) / np.where(rise > _CURVE_EPS, rise, 1.0),
+            1.0,
+        )
+    frac = np.clip(frac, 0.0, 1.0)
+    res = t0 + frac * (t1 - t0)
+    res = np.where(levels[ok] <= v[0], t[0], res)
+    out[ok] = res
+    return out
+
+
+def _adversarial_worst_arrays(
+    t_grid: np.ndarray,
+    arr_cum: np.ndarray,
+    reg_cum: np.ndarray,
+    next_empty: np.ndarray,
+) -> float:
+    """Lean replica of :func:`_adversarial_worst` on raw arrays.
+
+    Identical arithmetic, minus the :class:`PiecewiseLinearCurve`
+    construction (validation passes and array copies that never change
+    the values); the grouped cell-matrix evaluator calls this once per
+    unique lane.
+    """
+    inc = np.diff(arr_cum)
+    bins = np.nonzero(inc > 0)[0]
+    if bins.size == 0:
+        return 0.0
+    t_arr = t_grid[bins + 1]
+    levels = arr_cum[bins + 1]
+    tol = 1e-9 * max(float(arr_cum[-1]), 1.0)
+    release = _first_passage_arrays(
+        t_grid, reg_cum, np.maximum(levels - tol, 0.0)
+    )
+    idx = np.searchsorted(t_grid, release, side="left")
+    idx = np.clip(idx, 0, len(next_empty) - 1)
+    worst_dep = next_empty[idx]
+    if not np.all(np.isfinite(worst_dep)):
+        return float("inf")
+    return float(max((worst_dep - t_arr).max(), 0.0))
 
 
 # ----------------------------------------------------------------------

@@ -129,8 +129,12 @@ def test_crashing_cell_fails_its_verdict_not_the_campaign(
         return real_simulate(realised)
 
     monkeypatch.setattr(runner_mod, "_simulate", sabotage)
+    # Pin the per-cell path: the grouped evaluator resolves eligible
+    # cells without _simulate (its error isolation has its own test in
+    # test_scenarios_cellmatrix.py).
     campaign = run_campaign(
-        smoke_matrix[:6], executor=SerialExecutor(), store=tmp_path / "crash"
+        smoke_matrix[:6], executor=SerialExecutor(), store=tmp_path / "crash",
+        group_cells=False,
     )
     assert campaign.evaluated == 6
     errors = campaign.report.errors
