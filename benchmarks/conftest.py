@@ -28,6 +28,7 @@ BENCH_PR3_PATH = _REPO_ROOT / "BENCH_pr3.json"
 BENCH_PR4_PATH = _REPO_ROOT / "BENCH_pr4.json"
 BENCH_PR5_PATH = _REPO_ROOT / "BENCH_pr5.json"
 BENCH_PR6_PATH = _REPO_ROOT / "BENCH_pr6.json"
+BENCH_PR7_PATH = _REPO_ROOT / "BENCH_pr7.json"
 
 
 @pytest.fixture(scope="session")
@@ -108,6 +109,14 @@ def bench_pr6():
     data: dict = {}
     yield data
     _merge_bench_file(BENCH_PR6_PATH, 6, data)
+
+
+@pytest.fixture(scope="session")
+def bench_pr7():
+    """Collects PR-7 telemetry-overhead metrics; merged into ``BENCH_pr7.json``."""
+    data: dict = {}
+    yield data
+    _merge_bench_file(BENCH_PR7_PATH, 7, data)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -13,8 +13,11 @@
 #
 # Exit status: 0 when the campaign is clean AND the diff against the
 # pinned baseline shows no regression AND the grouped/per-cell
-# summaries match byte for byte; 1 otherwise (the CLI's --baseline
-# flag gates the first part in one shot).
+# summaries match byte for byte AND telemetry collection is invisible
+# to summaries (telemetry-on == telemetry-off == pinned baseline,
+# byte for byte, with `scenarios report` rendering the telemetry-on
+# store); 1 otherwise (the CLI's --baseline flag gates the first part
+# in one shot).
 #
 # To re-pin the baseline after an intentional change:
 #   PYTHONPATH=src python -m repro.experiments.cli scenarios run \
@@ -49,3 +52,36 @@ if ! cmp "$SOA_DIR/group-cells/summary.json" \
   exit 1
 fi
 echo "grouped gate: clean (grouped == per-cell, byte-identical summary)"
+
+# Telemetry invisibility: collection is on by default, so the smoke
+# store above already carries telemetry; a --no-telemetry rerun of the
+# same matrix must produce a byte-identical summary.json, and both
+# must still match the pinned baseline byte for byte (telemetry never
+# leaks into the determinism surface).
+TEL_DIR="$(mktemp -d)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+  scenarios run \
+  --count 24 --seed 11 --no-corpus \
+  --jobs 2 --no-telemetry \
+  --store "$TEL_DIR/off" >/dev/null
+if ! cmp "$STORE/summary.json" "$TEL_DIR/off/summary.json"; then
+  echo "telemetry gate: FAILED (telemetry-on and -off summaries differ)" >&2
+  exit 1
+fi
+if ! cmp "$STORE/summary.json" ci/baseline_smoke/summary.json; then
+  echo "telemetry gate: FAILED (summary drifted from pinned baseline)" >&2
+  exit 1
+fi
+if [ -e "$TEL_DIR/off/telemetry.jsonl" ]; then
+  echo "telemetry gate: FAILED (--no-telemetry store has telemetry.jsonl)" >&2
+  exit 1
+fi
+
+# The report lens must render the telemetry the smoke run collected.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+  scenarios report "$STORE" \
+  | grep "Phase breakdown per backend" >/dev/null || {
+  echo "telemetry gate: FAILED (scenarios report missing phase breakdown)" >&2
+  exit 1
+}
+echo "telemetry gate: clean (on == off == pinned baseline, report renders)"

@@ -266,8 +266,36 @@ def _scenarios_main(argv: list[str]) -> int:
         "--verbose", action="store_true",
         help="print every cell, not just the summary",
     )
+    p_run.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable per-cell telemetry collection (spans, counters; "
+        "on by default, near-zero overhead, never affects verdicts "
+        "or summary.json)",
+    )
+    p_run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write this run's cells as Chrome trace-event JSON "
+        "(open in chrome://tracing or Perfetto: one track per worker, "
+        "one slice per cell/phase)",
+    )
+    p_run.add_argument(
+        "--progress", action="store_true",
+        help="single rewriting status line on stderr: done/total, "
+        "cells/s, ETA (seeded from the cost model, then observed rate)",
+    )
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", default=None, help="filter by tag")
+    p_report = sub.add_parser(
+        "report",
+        help="campaign telemetry digest over a store: slowest cells, "
+        "per-backend phase breakdown, engine counters, cost-model "
+        "calibration, grouping efficiency",
+    )
+    p_report.add_argument("store", help="campaign store (path or URL)")
+    p_report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many slowest cells to list (default 10)",
+    )
     p_diff = sub.add_parser(
         "diff",
         help="compare two campaign stores cell-by-cell (exit 1 on any "
@@ -335,6 +363,129 @@ def _scenarios_main(argv: list[str]) -> int:
             return open_store(target, must_exist=True)
         except FileNotFoundError as exc:
             parser.error(str(exc))
+
+    if args.action == "report":
+        from repro.runtime import telemetry as tele
+
+        if args.top < 1:
+            parser.error("--top must be >= 1")
+        records = _reference_store(args.store).load_telemetry()
+        print(f"== Campaign telemetry report ({args.store}) ==")
+        if not records:
+            print(
+                "no telemetry records (run a campaign against this store "
+                "without --no-telemetry first)"
+            )
+            return 1
+        cells = [r for r in records if r.get("kind") == "cell"]
+        print(f"telemetry records: {len(records)} ({len(cells)} cells)")
+
+        def _ms(seconds) -> str:
+            return f"{1e3 * float(seconds):.2f}"
+
+        rows = [
+            [
+                r.get("name") or "?",
+                r.get("eff_backend") or "?",
+                _ms(r.get("dur") or 0.0),
+                " ".join(
+                    f"{name}={_ms(secs)}"
+                    for name, secs in sorted(
+                        (r.get("phases") or {}).items(),
+                        key=lambda kv: -kv[1],
+                    )
+                ),
+            ]
+            for r in tele.top_slowest(records, args.top)
+        ]
+        print(render_table(
+            ["cell", "backend", "dur [ms]", "phases [ms]"],
+            rows, title=f"== Top {min(args.top, len(cells))} slowest cells ==",
+        ))
+
+        breakdown = tele.phase_breakdown(records)
+        phase_names = sorted({p for row in breakdown for p in row["phases"]})
+        rows = [
+            [row["backend"], row["cells"]]
+            + [_ms(row["phases"].get(p, 0.0)) for p in phase_names]
+            + [_ms(row["total"])]
+            for row in breakdown
+        ]
+        print(render_table(
+            ["backend", "cells", *(f"{p} [ms]" for p in phase_names),
+             "total [ms]"],
+            rows, title="== Phase breakdown per backend ==",
+        ))
+
+        totals = tele.counter_totals(records)
+        if totals:
+            rows = [[name, n] for name, n in sorted(totals.items())]
+            print(render_table(
+                ["counter", "total"], rows, title="== Engine counters ==",
+            ))
+
+        calib = tele.calibration_rows(records)
+        if calib:
+            rows = [
+                [
+                    row["backend"], row["cells"],
+                    _ms(row.get("actual_total", 0.0)),
+                    _ms(row.get("predicted_total", 0.0)),
+                    f"{row['median_ratio']:.2f}"
+                    if "median_ratio" in row else "-",
+                    f"{row['p10_ratio']:.2f}/{row['p90_ratio']:.2f}"
+                    if "p10_ratio" in row else "-",
+                ]
+                for row in calib
+            ]
+            print(render_table(
+                ["backend", "cells", "actual [ms]", "predicted [ms]",
+                 "actual/pred median", "p10/p90"],
+                rows, title="== Cost-model calibration ==",
+            ))
+
+        grouping = tele.grouping_rows(records)
+        if grouping["groups"] or grouping["summary"]:
+            rows = [
+                [
+                    g.get("backend") or "?", g.get("mode") or "?",
+                    g.get("cells", 0), g.get("packs", "-"),
+                    g.get("lanes", "-"),
+                    f"{100.0 * g['padding_waste']:.1f}%"
+                    if isinstance(g.get("padding_waste"), float) else "-",
+                    _ms(g.get("kernel_s", 0.0)),
+                ]
+                for g in grouping["groups"]
+            ]
+            print(render_table(
+                ["backend", "mode", "cells", "packs", "lanes",
+                 "pad waste", "kernel [ms]"],
+                rows, title="== Grouping efficiency ==",
+            ))
+            s = grouping["summary"]
+            if s:
+                print(
+                    f"grouped cells: {s.get('grouped_cells', 0)}/"
+                    f"{s.get('cells', 0)}, fallbacks: "
+                    f"{s.get('fallback_cells', 0)} "
+                    f"{s.get('fallback_reasons', {})}"
+                )
+                hits = s.get("source_cache_hits", 0)
+                misses = s.get("source_cache_misses", 0)
+                if hits or misses:
+                    print(
+                        f"source cache: {hits} hits / {misses} misses "
+                        f"({100.0 * hits / max(hits + misses, 1):.0f}% hit rate)"
+                    )
+
+        for fit in tele.fit_rows(records):
+            print(
+                f"cost-model refit: {fit.get('accepted', 0)}/"
+                f"{fit.get('records', 0)} samples accepted, "
+                f"{fit.get('dropped', 0)} degenerate dropped "
+                f"{fit.get('dropped_reasons', {})}"
+            )
+        return 0
 
     if args.action == "diff":
         diff = diff_stores(
@@ -439,24 +590,83 @@ def _scenarios_main(argv: list[str]) -> int:
                 for sc in curated
             ]
         scenarios += curated
+    if args.trace and args.no_telemetry:
+        parser.error("--trace needs telemetry (drop --no-telemetry)")
+
     tick = None
-    if len(scenarios) >= 100:
+    progress = None
+    if args.progress:
+        import time
+
+        from repro.runtime import CellCostModel
+
+        # ETA before the first completion comes from the cost model's
+        # predicted total; once cells finish, the observed rate takes
+        # over (it folds in this machine's actual speed).
+        predicted_s = float(
+            CellCostModel().estimate_many(scenarios).sum()
+        ) / max(args.jobs, 1)
+        t_start = time.perf_counter()
+
+        def _status(done: int, total: int) -> None:
+            elapsed = time.perf_counter() - t_start
+            rate = done / elapsed if elapsed > 0 and done else 0.0
+            eta = (
+                (total - done) / rate
+                if rate > 0
+                else max(predicted_s - elapsed, 0.0)
+            )
+            end = "\n" if done == total else ""
+            print(
+                f"\r  {done}/{total} cells  {rate:5.1f} cells/s  "
+                f"ETA {eta:4.0f}s ",
+                end=end, file=sys.stderr, flush=True,
+            )
+
+        tick = _status
+        # The finalise stage re-reports per cell; route it into the
+        # same status line (run_campaign's progress= hook).
+        progress = lambda i, n, outcome: _status(i + 1, n)  # noqa: E731
+    elif len(scenarios) >= 100:
         # Live in-flight ticker on stderr (chunk granularity) so long
         # campaigns are not silent until the summary.
         def tick(done: int, total: int) -> None:
             end = "\n" if done == total else ""
             print(f"\r  {done}/{total} cells", end=end, file=sys.stderr, flush=True)
 
-    campaign = run_campaign(
-        scenarios,
-        executor=make_executor(args.executor, args.jobs),
-        store=args.store,
-        resume=args.resume,
-        shard=args.shard,
-        tick=tick,
-        cost_model=None if args.no_cost_model else "auto",
-        group_cells=args.group_cells,
-    )
+    from repro.runtime import set_telemetry_enabled, telemetry_enabled
+
+    telemetry_was = telemetry_enabled()
+    set_telemetry_enabled(not args.no_telemetry)
+    try:
+        campaign = run_campaign(
+            scenarios,
+            executor=make_executor(args.executor, args.jobs),
+            store=args.store,
+            resume=args.resume,
+            shard=args.shard,
+            tick=tick,
+            progress=progress,
+            cost_model=None if args.no_cost_model else "auto",
+            group_cells=args.group_cells,
+        )
+    finally:
+        set_telemetry_enabled(telemetry_was)
+
+    if args.trace:
+        from repro.runtime.telemetry import cell_record, write_chrome_trace
+
+        trace_records = [
+            cell_record(o.telemetry, eff_backend=o.eff_backend)
+            for o in campaign.report.outcomes
+            if o.telemetry is not None
+        ]
+        n_events = write_chrome_trace(args.trace, trace_records)
+        print(
+            f"trace written: {args.trace} ({n_events} events, "
+            "open in chrome://tracing or Perfetto)",
+            file=sys.stderr,
+        )
     if args.verbose:
         rows = [
             [o.scenario.name, o.eff_mode, o.eff_backend, o.hops,
@@ -487,6 +697,18 @@ def _scenarios_main(argv: list[str]) -> int:
             rows, title="== Per-backend cell cost (from store) =="
             if args.store else "== Per-backend cell cost (this run) ==",
         ))
+        fit = campaign.cost_fit
+        if fit is not None:
+            line = (
+                f"cost-model refit: {fit.get('accepted', 0)}/"
+                f"{fit.get('records', 0)} samples accepted"
+            )
+            if fit.get("dropped"):
+                line += (
+                    f"; WARNING: {fit['dropped']} degenerate samples "
+                    f"dropped {fit.get('dropped_reasons', {})}"
+                )
+            print(line)
     baseline_clean = True
     if args.baseline:
         diff = diff_stores(_reference_store(args.baseline), args.store)

@@ -54,6 +54,15 @@ tier-1 smoke slice to thousands of cells:
     ``backend_profile`` powers ``scenarios run --profile``.  Scheduling
     only: outcomes are bit-identical with or without it.
 
+``telemetry`` (:mod:`repro.runtime.telemetry`)
+    Dependency-free tracing/metrics: per-cell ``CellTelemetry`` records
+    (phase spans, named counters, engine tallies) collected worker-side
+    and returned with results, persisted to a separate telemetry
+    table/file by both store backends (``summary.json`` never sees
+    them), consumed by ``scenarios report`` and ``scenarios run
+    --trace`` (Chrome trace-event JSON).  On by default; near-zero
+    overhead; ``--no-telemetry`` (``set_enabled(False)``) kills it.
+
 Usage::
 
     from repro.runtime import ProcessExecutor, ResultStore, run_campaign
@@ -110,12 +119,24 @@ from repro.runtime.store import (
     spec_fingerprint,
 )
 from repro.runtime.store_sqlite import SqliteResultStore
+from repro.runtime.telemetry import (
+    CellTelemetry,
+    chrome_trace_events,
+    enabled as telemetry_enabled,
+    set_enabled as set_telemetry_enabled,
+    write_chrome_trace,
+)
 
 __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "CampaignDiff",
     "CellCostModel",
+    "CellTelemetry",
+    "chrome_trace_events",
+    "set_telemetry_enabled",
+    "telemetry_enabled",
+    "write_chrome_trace",
     "backend_profile",
     "plan_chunks",
     "EXECUTOR_KINDS",

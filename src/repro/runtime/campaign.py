@@ -228,6 +228,12 @@ class CampaignReport:
     quarantined: int = 0
     #: ``(index, total)`` when this run evaluated one shard only.
     shard: Optional[tuple[int, int]] = None
+    #: Cost-model refit ledger (``CellCostModel.fit(report=...)``) when
+    #: a resume refit ran; ``None`` otherwise.  Surfaced by the CLI's
+    #: ``--profile`` so silently dropped degenerate samples are visible.
+    cost_fit: Optional[dict] = None
+    #: Telemetry records persisted to the store's telemetry table/file.
+    telemetry_records: int = 0
 
     @property
     def evaluated(self) -> int:
@@ -351,12 +357,16 @@ def run_campaign(
             if rec.get("budget_ok") is False:
                 skipped_budget += 1
 
+    cost_fit: Optional[dict] = None
     if cost_model == "auto":
         model = CellCostModel()
         if stored_records:
             # Real campaigns beat shipped coefficients: refit from the
             # store's recorded per-cell wall clocks.
-            model = CellCostModel.fit(stored_records.values(), base=model)
+            cost_fit = {}
+            model = CellCostModel.fit(
+                stored_records.values(), base=model, report=cost_fit
+            )
     else:
         model = cost_model
 
@@ -374,11 +384,16 @@ def run_campaign(
     )
 
     store_records = 0
+    telemetry_count = 0
     if result_store is not None:
         result_store.append_many(outcome_record(o) for o in report.outcomes)
+        telemetry_count = _persist_telemetry(
+            result_store, report, model=model, cost_fit=cost_fit
+        )
         # The summary is deterministic (content-derived aggregates
         # only, no run-local extras): a sharded run's final summary is
         # bit-identical to the serial one over the same records.
+        # Telemetry lives in its own table/file and never feeds it.
         summary = result_store.write_summary()
         store_records = int(summary["cells"])
         quarantined = max(quarantined, result_store.quarantined)
@@ -393,4 +408,56 @@ def run_campaign(
         store_records=store_records,
         quarantined=quarantined,
         shard=parse_shard(shard),
+        cost_fit=cost_fit,
+        telemetry_records=telemetry_count,
     )
+
+
+def _persist_telemetry(
+    result_store: ResultStore,
+    report: BatchReport,
+    *,
+    model=None,
+    cost_fit: Optional[dict] = None,
+) -> int:
+    """Append this run's telemetry to the store's telemetry channel.
+
+    One ``kind == "cell"`` record per outcome that carried telemetry
+    (annotated with the cell key, effective backend, recorded wall
+    clock and the scheduler's predicted cost, so the report's
+    calibration table needs no join), the grouped evaluator's
+    ``grouping``/``grouping_summary`` records, and one ``fit`` record
+    when a resume refit ran.  Returns the record count; a disabled
+    telemetry switch (or a run with no telemetry) appends nothing.
+    """
+    from repro.runtime.telemetry import cell_record, enabled
+
+    if not enabled():
+        return 0
+    records: list[dict] = []
+    for o in report.outcomes:
+        if o.telemetry is None:
+            continue
+        predicted = None
+        if model is not None:
+            try:
+                predicted = float(model.estimate(o.scenario))
+            except Exception:
+                predicted = None
+        records.append(
+            cell_record(
+                o.telemetry,
+                key=cell_key(o.scenario),
+                eff_backend=o.eff_backend,
+                wall_time=float(o.wall_time),
+                predicted_cost=predicted,
+                primed=bool(o.primed),
+            )
+        )
+    for g in report.group_stats:
+        records.append(dict(g))
+    if cost_fit:
+        records.append({"kind": "fit", **cost_fit})
+    if records:
+        result_store.append_telemetry(records)
+    return len(records)

@@ -186,6 +186,7 @@ class CellCostModel:
         records: Iterable[Mapping[str, Any]],
         *,
         base: Optional["CellCostModel"] = None,
+        report: Optional[dict] = None,
     ) -> "CellCostModel":
         """Refit coefficients from store records (recorded wall clocks).
 
@@ -204,28 +205,64 @@ class CellCostModel:
         non-positive or non-finite all fall back to the prior
         coefficient -- a refit can never poison the scheduler with NaN
         or zero costs.
+
+        ``report`` (optional, a mutable mapping) receives the fit
+        ledger so the guards are observable rather than silent:
+        ``records`` seen, ``accepted`` samples, ``dropped`` total, a
+        per-reason ``dropped_reasons`` tally (``missing-wall`` /
+        ``bad-wall`` / ``bad-features`` / ``bad-workload``), and per
+        backend ``accepted``/``refit``/``rejected-median`` under
+        ``backends``.
         """
         prior = base if base is not None else cls()
         samples: dict[str, list[float]] = {}
+        seen = 0
+        dropped: dict[str, int] = {}
+
+        def _drop(reason: str) -> None:
+            dropped[reason] = dropped.get(reason, 0) + 1
+
         for rec in records:
+            seen += 1
             wall = rec.get("wall_time") if isinstance(rec, Mapping) else None
             if not isinstance(wall, (int, float)):
+                _drop("missing-wall")
                 continue
             wall = float(wall)
             if not np.isfinite(wall) or wall <= 0:
+                _drop("bad-wall")
                 continue
             try:
                 backend, workload = _spec_features(rec)
             except (TypeError, ValueError):
-                continue  # malformed feature fields: unusable record
+                _drop("bad-features")  # malformed fields: unusable record
+                continue
             if not np.isfinite(workload) or workload <= 0:
+                _drop("bad-workload")
                 continue
             samples.setdefault(backend, []).append(wall / workload)
         coeffs = dict(prior.coefficients)
+        backends: dict[str, dict] = {}
         for backend, ratios in samples.items():
             coeff = float(np.median(ratios))
-            if np.isfinite(coeff) and coeff > 0:
+            refit = bool(np.isfinite(coeff) and coeff > 0)
+            if refit:
                 coeffs[backend] = coeff
+            backends[backend] = {
+                "accepted": len(ratios),
+                "refit": refit,
+                "coefficient": coeff if refit else prior.coefficients.get(
+                    backend, _DEFAULT_COEFF
+                ),
+            }
+        if report is not None:
+            report.update(
+                records=seen,
+                accepted=sum(len(r) for r in samples.values()),
+                dropped=sum(dropped.values()),
+                dropped_reasons=dict(sorted(dropped.items())),
+                backends=backends,
+            )
         return cls(coefficients=coeffs, variance=dict(prior.variance))
 
 

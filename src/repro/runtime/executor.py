@@ -30,9 +30,15 @@ import time
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, Executor as _FuturesExecutor, wait
-from dataclasses import dataclass
-from functools import partial
+from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable, Optional, Sequence
+
+from repro.runtime.telemetry import (
+    CellTelemetry,
+    begin_cell,
+    end_cell,
+    enabled as telemetry_enabled,
+)
 
 __all__ = [
     "TaskResult",
@@ -63,6 +69,12 @@ class TaskResult:
     value: Any = None
     error: Optional[str] = None
     wall_time: float = 0.0
+    #: Worker-side telemetry for this payload (``None`` when collection
+    #: is disabled); excluded from equality so the determinism gates
+    #: keep comparing values, not timings.
+    telemetry: Optional[CellTelemetry] = dataclass_field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def ok(self) -> bool:
@@ -95,27 +107,65 @@ def _check_plan(chunk_plan: Sequence[Sequence[int]], n: int) -> None:
         )
 
 
-def _run_one(fn: Callable[[Any], Any], index: int, payload: Any) -> TaskResult:
-    """Worker-side unit of execution with exception capture."""
+def _run_one(
+    fn: Callable[[Any], Any],
+    index: int,
+    payload: Any,
+    collect: bool = True,
+) -> TaskResult:
+    """Worker-side unit of execution with exception capture.
+
+    ``collect`` carries the parent's telemetry switch across the
+    process boundary (spawned workers re-import modules, so the global
+    flag alone cannot be trusted there); :func:`begin_cell` still
+    honours the local global, so both ends must agree to collect.
+    """
+    tel = (
+        begin_cell(str(getattr(payload, "name", index))) if collect else None
+    )
     t0 = time.perf_counter()
     try:
         value = fn(payload)
     except Exception:
+        end_cell(tel)
         return TaskResult(
             index=index,
             error=traceback.format_exc(limit=20),
             wall_time=time.perf_counter() - t0,
+            telemetry=tel,
         )
+    end_cell(tel)
     return TaskResult(
-        index=index, value=value, wall_time=time.perf_counter() - t0
+        index=index,
+        value=value,
+        wall_time=time.perf_counter() - t0,
+        telemetry=tel,
     )
 
 
 def _run_chunk(
-    fn: Callable[[Any], Any], chunk: Sequence[tuple[int, Any]]
+    fn: Callable[[Any], Any],
+    chunk: Sequence[tuple[int, Any]],
+    submit_t: Optional[float] = None,
+    collect: bool = True,
 ) -> list[TaskResult]:
-    """Worker-side chunk loop (module-level, hence picklable)."""
-    return [_run_one(fn, index, payload) for index, payload in chunk]
+    """Worker-side chunk loop (module-level, hence picklable).
+
+    ``submit_t`` is the parent's ``time.perf_counter()`` at submission
+    -- CLOCK_MONOTONIC is process-shared on Linux, so the difference to
+    the worker's first instruction is this chunk's queue latency.
+    """
+    t_start = time.perf_counter()
+    queue_s = t_start - submit_t if submit_t is not None else None
+    results = []
+    for index, payload in chunk:
+        tr = _run_one(fn, index, payload, collect)
+        if tr.telemetry is not None:
+            tr.telemetry.extra["chunk_size"] = len(chunk)
+            if queue_s is not None:
+                tr.telemetry.extra["chunk_queue_s"] = queue_s
+        results.append(tr)
+    return results
 
 
 class Executor(ABC):
@@ -210,9 +260,12 @@ class _PoolExecutor(Executor):
             ]
         results: dict[int, TaskResult] = {}
         done = 0
+        collect = telemetry_enabled()
         with self._make_pool() as pool:
             pending = {
-                pool.submit(partial(_run_chunk, fn), chunk): chunk
+                pool.submit(
+                    _run_chunk, fn, chunk, time.perf_counter(), collect
+                ): chunk
                 for chunk in chunks
             }
             while pending:

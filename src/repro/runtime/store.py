@@ -259,6 +259,21 @@ class ResultStore:
         """
         raise NotImplementedError
 
+    def append_telemetry(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Persist run telemetry records (spans/counters/grouping/fit).
+
+        A separate channel from cell records: telemetry is run-local
+        observability data, never feeds :meth:`write_summary` (which
+        must stay deterministic), and needs no keys -- records
+        accumulate append-only across runs.  The base implementation is
+        a no-op so store-like test doubles ignore telemetry for free.
+        """
+
+    def load_telemetry(self) -> list[dict[str, Any]]:
+        """All telemetry records, in append order (unparseable rows are
+        skipped -- telemetry must never fail a load)."""
+        return []
+
     def close(self) -> None:
         """Release backend resources (no-op for file-based backends)."""
 
@@ -337,6 +352,7 @@ class JsonlResultStore(ResultStore):
 
     RESULTS = "results.jsonl"
     QUARANTINE = "quarantine.jsonl"
+    TELEMETRY = "telemetry.jsonl"
 
     kind = "jsonl"
 
@@ -364,6 +380,29 @@ class JsonlResultStore(ResultStore):
             return
         with self.results_path.open("a") as fh:
             fh.write("".join(lines))
+
+    def append_telemetry(self, records: Iterable[Mapping[str, Any]]) -> None:
+        lines = [_canonical_json(dict(rec)) + "\n" for rec in records]
+        if not lines:
+            return
+        with (self.root / self.TELEMETRY).open("a") as fh:
+            fh.write("".join(lines))
+
+    def load_telemetry(self) -> list[dict[str, Any]]:
+        path = self.root / self.TELEMETRY
+        if not path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # telemetry is best-effort: skip torn lines
+            if isinstance(rec, dict):
+                out.append(rec)
+        return out
 
     # -- reading ---------------------------------------------------------
     def load(self) -> dict[str, dict[str, Any]]:

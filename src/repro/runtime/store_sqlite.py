@@ -49,6 +49,11 @@ CREATE TABLE IF NOT EXISTS results (
 CREATE TABLE IF NOT EXISTS quarantine (
     line TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS telemetry (
+    id     INTEGER PRIMARY KEY,
+    kind   TEXT NOT NULL,
+    record TEXT NOT NULL
+);
 """
 
 
@@ -111,6 +116,35 @@ class SqliteResultStore(ResultStore):
                 "VALUES (?, ?, ?)",
                 rows,
             )
+
+    def append_telemetry(self, records: Iterable[Mapping[str, Any]]) -> None:
+        rows = [
+            (str(rec.get("kind", "cell")), _canonical_json(dict(rec)))
+            for rec in records
+        ]
+        if not rows:
+            return
+        conn = self._connect()
+        with conn:
+            conn.executemany(
+                "INSERT INTO telemetry (kind, record) VALUES (?, ?)",
+                rows,
+            )
+
+    def load_telemetry(self) -> list[dict[str, Any]]:
+        if not self.db_path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        for (raw,) in self._connect().execute(
+            "SELECT record FROM telemetry ORDER BY id"
+        ):
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # telemetry is best-effort: skip bad rows
+            if isinstance(rec, dict):
+                out.append(rec)
+        return out
 
     # -- reading ---------------------------------------------------------
     def load(self) -> dict[str, dict[str, Any]]:

@@ -50,6 +50,7 @@ import numpy as np
 from repro.calculus.envelope import ArrivalEnvelope
 from repro.core.adaptive import AdaptiveController
 from repro.runtime.executor import TaskResult, _run_one
+from repro.runtime.telemetry import begin_cell, end_cell, span
 from repro.scenarios.runner import (
     CellResult,
     _Realised,
@@ -193,6 +194,30 @@ def group_key(r: _Realised) -> Optional[tuple]:
     return None
 
 
+def _fallback_reason(r: _Realised) -> str:
+    """Why :func:`group_key` rejected a realised cell (telemetry label).
+
+    Mirrors the rejection order of :func:`group_key` so the label names
+    the *first* disqualifying fact -- the "no silent caps" counters in
+    the grouping summary aggregate these per reason.
+    """
+    sc = r.scenario
+    if sc.topology != "host":
+        return f"topology:{sc.topology}"
+    if sc.discipline != "adversarial":
+        return f"discipline:{sc.discipline}"
+    if r.eff_backend == "des":
+        return f"mode:{r.eff_mode}"
+    return f"backend:{r.eff_backend}"
+
+
+def _annotate_fallback(task: TaskResult, reason: str) -> None:
+    """Stamp a per-cell fallback reason onto a ``_run_one`` result."""
+    if task.telemetry is not None:
+        task.telemetry.extra["fallback_reason"] = reason
+        task.telemetry.counters["fallback_cells"] = 1
+
+
 def _cell_result(r: _Realised, measured, events, cancelled, primed):
     sc = r.scenario
     return CellResult(
@@ -216,12 +241,12 @@ def _cell_result(r: _Realised, measured, events, cancelled, primed):
 # DES group: primed adversarial hosts
 # ----------------------------------------------------------------------
 def _eval_des_group(
-    mode: str, members: Sequence[tuple[int, _Realised, float]]
+    mode: str, members: Sequence[tuple]
 ) -> list[Optional[CellResult]]:
     """Evaluate one primed-DES group; ``None`` marks per-cell fallback."""
     out: list[Optional[CellResult]] = []
     dedupe = mode in ("sigma-rho", "none")
-    for _i, r, _prep in members:
+    for _i, r, _prep, _tel in members:
         try:
             sc = r.scenario
             traces = r.traces
@@ -494,17 +519,39 @@ def _eval_fluid_pack(
 
 
 def _eval_fluid_group(
-    mode: str, dt: float, members: Sequence[tuple[int, _Realised, float]]
+    mode: str,
+    dt: float,
+    members: Sequence[tuple],
+    pack_stats: Optional[dict] = None,
 ) -> list[Optional[CellResult]]:
-    """Evaluate one fluid group; ``None`` marks per-cell fallback."""
+    """Evaluate one fluid group; ``None`` marks per-cell fallback.
+
+    ``pack_stats`` (optional, a mutable mapping) accumulates lane
+    packing telemetry across the group's sub-batches: ``packs``,
+    ``lanes``, and padded vs. valid float64 elements (their ratio is
+    the padding-waste the pack-width cap bounds).
+    """
     out: list[Optional[CellResult]] = [None] * len(members)
     cells: list[tuple[int, _FluidCell]] = []
-    for slot, (_i, r, _prep) in enumerate(members):
+    for slot, (_i, r, _prep, _tel) in enumerate(members):
         try:
             cells.append((slot, _prep_fluid_cell(r, mode, dt)))
         except Exception:
             pass  # stays None: per-cell fallback reproduces the error
     for pack in _fluid_subbatches(cells):
+        if pack_stats is not None and pack:
+            n_max = max(cell.n_bins for _s, cell in pack)
+            lanes = sum(len(cell.lane_params) for _s, cell in pack)
+            pack_stats["packs"] = pack_stats.get("packs", 0) + 1
+            pack_stats["lanes"] = pack_stats.get("lanes", 0) + lanes
+            pack_stats["pad_elements"] = (
+                pack_stats.get("pad_elements", 0) + lanes * (n_max + 1)
+            )
+            pack_stats["valid_elements"] = pack_stats.get(
+                "valid_elements", 0
+            ) + sum(
+                len(cell.lane_params) * (cell.n_bins + 1) for _s, cell in pack
+            )
         try:
             for slot, cell_result in _eval_fluid_pack(mode, dt, pack).items():
                 out[slot] = cell_result
@@ -520,6 +567,7 @@ def evaluate_grouped(
     scenarios: Sequence[Scenario],
     *,
     tick: Optional[callable] = None,
+    stats: Optional[dict] = None,
 ) -> list[TaskResult]:
     """Evaluate a matrix with SoA grouping; per-scenario task results.
 
@@ -527,14 +575,25 @@ def evaluate_grouped(
     one :class:`TaskResult` per scenario in input order, failures
     captured per cell, bit-identical values.  ``tick(done, total)`` is
     called as cells complete (grouped cells complete per group).
+
+    ``stats`` (optional, a mutable mapping) receives
+    ``stats["records"]``: one mapping per evaluated group
+    (``kind == "grouping"``: cells, kernel seconds, lane packing and
+    padding waste) plus one ``kind == "grouping_summary"`` mapping
+    (grouped vs. fallback cell counts, per-reason fallback tallies, the
+    realisation source-cache hit rate) -- the "no silent caps" ledger
+    of the grouped path.
     """
     scenarios = list(scenarios)
     n = len(scenarios)
     results: list[Optional[TaskResult]] = [None] * n
     fragment_cache: dict = {}
     source_cache: dict = {}
-    groups: dict[tuple, list[tuple[int, _Realised, float]]] = {}
-    fallback: list[int] = []
+    groups: dict[tuple, list[tuple]] = {}
+    fallback: list[tuple[int, str]] = []
+    reasons: dict[str, int] = {}
+    records: list[dict] = []
+    src_hits = src_misses = 0
     done = 0
 
     def _tick():
@@ -544,41 +603,109 @@ def evaluate_grouped(
     for i, sc in enumerate(scenarios):
         # Spec-level short-circuit: group_key() rejects these whatever
         # the realisation says, so skip the lean realisation entirely.
-        if sc.topology != "host" or sc.discipline != "adversarial":
-            fallback.append(i)
+        if sc.topology != "host":
+            fallback.append((i, f"topology:{sc.topology}"))
             continue
+        if sc.discipline != "adversarial":
+            fallback.append((i, f"discipline:{sc.discipline}"))
+            continue
+        tel = begin_cell(sc.name)
         t0 = time.perf_counter()
         key = None
+        r = None
         try:
-            r = _lean_realise(sc, fragment_cache, source_cache)
+            cached = len(source_cache)
+            with span("realise"):
+                r = _lean_realise(sc, fragment_cache, source_cache)
+            if len(source_cache) == cached:
+                src_hits += 1
+            else:
+                src_misses += 1
             key = group_key(r)
         except Exception:
             key = None
         prep = time.perf_counter() - t0
+        end_cell(tel)
         if key is None:
-            fallback.append(i)
+            # The fallback re-runs evaluate_cell with fresh telemetry,
+            # so the lean-realisation attempt's record is discarded.
+            reason = "realise-error" if r is None else _fallback_reason(r)
+            fallback.append((i, reason))
         else:
-            groups.setdefault(key, []).append((i, r, prep))
+            groups.setdefault(key, []).append((i, r, prep, tel))
 
-    for i in fallback:
+    for i, reason in fallback:
         results[i] = _run_one(evaluate_cell, i, scenarios[i])
+        _annotate_fallback(results[i], reason)
+        reasons[reason] = reasons.get(reason, 0) + 1
         done += 1
         _tick()
 
+    grouped_cells = 0
     for key, members in groups.items():
+        pack_stats: dict = {}
         t0 = time.perf_counter()
         if key[0] == "des":
             cell_results = _eval_des_group(key[3], members)
         else:
-            cell_results = _eval_fluid_group(key[3], key[4], members)
-        share = (time.perf_counter() - t0) / max(len(members), 1)
-        for (i, _r, prep), cell in zip(members, cell_results):
+            cell_results = _eval_fluid_group(
+                key[3], key[4], members, pack_stats
+            )
+        kernel_s = time.perf_counter() - t0
+        share = kernel_s / max(len(members), 1)
+        kernel_fallbacks = 0
+        for (i, _r, prep, tel), cell in zip(members, cell_results):
             if cell is None:
                 results[i] = _run_one(evaluate_cell, i, scenarios[i])
+                _annotate_fallback(results[i], "kernel-error")
+                reasons["kernel-error"] = reasons.get("kernel-error", 0) + 1
+                kernel_fallbacks += 1
             else:
+                if tel is not None:
+                    # The kernel ran cells batch-wise: credit each cell
+                    # its amortised share, anchored at the kernel start
+                    # so trace slices line up on the timeline.
+                    tel.add_phase("simulate", share, offset=t0 - tel.t0)
+                    tel.dur = prep + share
+                    tel.counters["grouped_cells"] = 1
+                    if key[0] == "des":
+                        tel.counters["primed_cells"] = 1
                 results[i] = TaskResult(
-                    index=i, value=cell, wall_time=prep + share
+                    index=i, value=cell, wall_time=prep + share,
+                    telemetry=tel,
                 )
+                grouped_cells += 1
             done += 1
             _tick()
+        rec = {
+            "kind": "grouping",
+            "backend": key[0],
+            "mode": key[3],
+            "cells": len(members),
+            "kernel_fallbacks": kernel_fallbacks,
+            "prep_s": float(sum(m[2] for m in members)),
+            "kernel_s": kernel_s,
+        }
+        if pack_stats:
+            rec.update(pack_stats)
+            pad = pack_stats.get("pad_elements", 0)
+            if pad:
+                rec["padding_waste"] = (
+                    1.0 - pack_stats.get("valid_elements", 0) / pad
+                )
+        records.append(rec)
+
+    records.append(
+        {
+            "kind": "grouping_summary",
+            "cells": n,
+            "grouped_cells": grouped_cells,
+            "fallback_cells": n - grouped_cells,
+            "fallback_reasons": dict(sorted(reasons.items())),
+            "source_cache_hits": src_hits,
+            "source_cache_misses": src_misses,
+        }
+    )
+    if stats is not None:
+        stats["records"] = records
     return results

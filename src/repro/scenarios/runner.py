@@ -39,8 +39,9 @@ count, chunking or completion order.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -51,6 +52,7 @@ from repro.core.delay_bounds import theorem1_wdb_heterogeneous
 from repro.core.multicast_bounds import dsct_height_bound
 from repro.overlay.groups import MultiGroupNetwork
 from repro.runtime.executor import Executor, SerialExecutor, TaskResult
+from repro.runtime.telemetry import CellTelemetry, counter_add, span
 from repro.scenarios.analytic import batch_bounds
 from repro.scenarios.spec import Scenario
 from repro.simulation.chain import simulate_regulated_chain
@@ -138,6 +140,12 @@ class ScenarioOutcome:
     error: Optional[str] = None
     #: Closed-form fast path used (see :class:`CellResult`).
     primed: bool = False
+    #: Worker-side telemetry (spans/counters; ``None`` when collection
+    #: is off).  Excluded from equality: the serial==parallel==grouped
+    #: bit-identity contract compares verdicts, never timings.
+    telemetry: Optional[CellTelemetry] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def sound(self) -> bool:
@@ -175,6 +183,11 @@ class BatchReport:
 
     outcomes: tuple[ScenarioOutcome, ...]
     elapsed: float
+    #: Grouped-evaluation accounting (one mapping per SoA group plus a
+    #: ``grouping_summary`` entry) when the structure-of-arrays path
+    #: ran; empty for per-cell evaluation.  Excluded from equality for
+    #: the same reason as per-cell telemetry: timings are not verdicts.
+    group_stats: tuple = field(default=(), compare=False, repr=False)
 
     @property
     def n_scenarios(self) -> int:
@@ -540,8 +553,12 @@ def evaluate_cell(scenario: Scenario) -> CellResult:
     into per-cell error results, which :func:`finalise_batch` turns
     into failed verdicts.
     """
-    r = _realise(scenario)
-    measured, events, cancelled, primed = _simulate(r)
+    with span("realise"):
+        r = _realise(scenario)
+    with span("simulate"):
+        measured, events, cancelled, primed = _simulate(r)
+    if primed:
+        counter_add("primed_cells")
     return CellResult(
         name=scenario.name,
         eff_mode=r.eff_mode,
@@ -563,6 +580,7 @@ def evaluate_cells_grouped(
     scenarios: Sequence[Scenario],
     *,
     tick: Optional[callable] = None,
+    stats: Optional[dict] = None,
 ) -> list[TaskResult]:
     """Evaluate a matrix with structure-of-arrays cell grouping.
 
@@ -575,11 +593,14 @@ def evaluate_cells_grouped(
 
     Returns one :class:`~repro.runtime.executor.TaskResult` per
     scenario, in input order, exactly like
-    ``SerialExecutor.map_tasks(evaluate_cell, scenarios)``.
+    ``SerialExecutor.map_tasks(evaluate_cell, scenarios)``.  ``stats``
+    (optional, a mutable mapping) receives grouping telemetry: per-group
+    sizes, lane packing and padding waste, per-reason fallback counts,
+    and the source-cache hit rate.
     """
     from repro.scenarios.cellmatrix import evaluate_grouped
 
-    return evaluate_grouped(scenarios, tick=tick)
+    return evaluate_grouped(scenarios, tick=tick, stats=stats)
 
 
 # ----------------------------------------------------------------------
@@ -603,6 +624,7 @@ def _error_outcome(
         height_ok=True,
         wall_time=task.wall_time,
         error=task.error or "unknown worker error",
+        telemetry=task.telemetry,
     )
 
 
@@ -623,6 +645,7 @@ def finalise_batch(
     ok = [i for i, t in enumerate(tasks) if t.ok]
     bounds = np.full(len(scenarios), np.nan)
     baselines = np.full(len(scenarios), np.nan)
+    t_bounds = time.perf_counter()
     if ok:
         cells: list[CellResult] = [tasks[i].value for i in ok]
         ok_bounds, ok_baselines = batch_bounds(
@@ -637,6 +660,8 @@ def finalise_batch(
         )
         bounds[ok] = ok_bounds
         baselines[ok] = ok_baselines
+    bounds_dur = time.perf_counter() - t_bounds
+    t_verdict = time.perf_counter()
     outcomes: list[ScenarioOutcome] = []
     for i, (sc, task) in enumerate(zip(scenarios, tasks)):
         if not task.ok:
@@ -660,10 +685,25 @@ def finalise_batch(
                 height_ok=cell.height_ok,
                 wall_time=task.wall_time,
                 primed=cell.primed,
+                telemetry=task.telemetry,
             )
         outcomes.append(outcome)
         if progress is not None:
             progress(i, len(scenarios), outcome)
+    verdict_dur = time.perf_counter() - t_verdict
+    # The analytic pass and the verdict loop are batch-level (one NumPy
+    # call / one Python loop for the whole matrix), so their cost is
+    # amortised evenly across the cells that went through them -- the
+    # per-cell phase breakdown then accounts for the full pipeline, not
+    # just the worker stage.
+    ok_tels = [
+        tasks[i].telemetry for i in ok if tasks[i].telemetry is not None
+    ]
+    for tel in ok_tels:
+        tel.add_phase("bounds", bounds_dur / len(ok_tels))
+    all_tels = [o.telemetry for o in outcomes if o.telemetry is not None]
+    for tel in all_tels:
+        tel.add_phase("verdict", verdict_dur / len(all_tels))
     return BatchReport(outcomes=tuple(outcomes), elapsed=elapsed)
 
 
@@ -717,9 +757,13 @@ def run_batch(
     if group_cells is None:
         group_cells = getattr(ex, "supports_cell_grouping", False)
     if group_cells:
-        tasks = evaluate_cells_grouped(scenarios, tick=tick)
-        return finalise_batch(
+        stats: dict = {}
+        tasks = evaluate_cells_grouped(scenarios, tick=tick, stats=stats)
+        report = finalise_batch(
             scenarios, tasks, time.perf_counter() - t0, progress=progress
+        )
+        return dataclasses.replace(
+            report, group_stats=tuple(stats.get("records", ()))
         )
     plan = None
     if cost_model is not None and getattr(ex, "jobs", 1) > 1:

@@ -393,6 +393,7 @@ class BatchVacationComponent:
         the per-packet chain would, so departures are identical --
         only the event count drops.
         """
+        self.sim.receive_batch_calls += 1
         self._queue.extend(packets)
         if not self._committed:
             self._try_start()
@@ -618,6 +619,7 @@ class BatchMuxServer:
     def receive_batch(self, packets: Sequence[Packet]) -> None:
         """Accept several packets arriving at the current instant (a
         replicated busy period); equivalent to sequential receives."""
+        self.sim.receive_batch_calls += 1
         for pkt in packets:
             self.receive(pkt)
 
@@ -635,6 +637,7 @@ class BatchMuxServer:
             )
             return
         self._check = None
+        self.sim.busy_periods += 1
         held, self._held = self._held, []
         if len(held) == 1:
             self._route(held[0])

@@ -268,6 +268,11 @@ def simulate_regulated_chain(
                 inject_trace(sim, trace, f, entries_per_hop[h][f])
 
     sim.run()
+    # Function-local import: keeps the simulation layer importable
+    # without the runtime package at module-load time.
+    from repro.runtime.telemetry import record_engine
+
+    record_engine(sim)
     stats = recorder.stats(0)
     return ChainResult(
         mode=mode,

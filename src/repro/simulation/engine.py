@@ -110,6 +110,14 @@ class Simulator:
         #: to :attr:`events_processed` so event-rate figures are honest
         #: about how much of the heap traffic was dead weight.
         self.cancelled_events: int = 0
+        #: Total events ever pushed (single or batch scheduling).
+        self.events_scheduled: int = 0
+        # Engine-adjacent telemetry tallies: batched components fold
+        # their own structural counts into the simulator they share, so
+        # one :func:`repro.runtime.telemetry.record_engine` call per
+        # cell captures the whole engine picture.
+        self.busy_periods: int = 0
+        self.receive_batch_calls: int = 0
 
     # ------------------------------------------------------------------
     def schedule(
@@ -133,6 +141,7 @@ class Simulator:
         ev = ScheduledEvent(float(time), priority, next(self._seq), callback, args, self)
         heapq.heappush(self._queue, ev)
         self._live += 1
+        self.events_scheduled += 1
         return ev
 
     def schedule_in(
@@ -193,6 +202,7 @@ class Simulator:
             for ev in events:
                 push(queue, ev)
         self._live += len(events)
+        self.events_scheduled += len(events)
         return events
 
     # ------------------------------------------------------------------

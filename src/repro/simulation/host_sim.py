@@ -388,6 +388,11 @@ def simulate_regulated_host(
     for flow_id, (trace, entry) in enumerate(zip(traces, entries)):
         inject_trace(sim, trace.restrict(horizon), flow_id, entry)
     sim.run(until=None if drain else horizon)
+    # Function-local import: the simulation layer stays importable
+    # without the runtime package at module-load time.
+    from repro.runtime.telemetry import record_engine
+
+    record_engine(sim)
     per_flow = tuple(recorder.stats(i) for i in range(len(traces)))
     worst = max((s.worst for s in per_flow), default=0.0)
     return HostResult(

@@ -240,6 +240,11 @@ def simulate_multicast_tree(
     inject_trace(sim, traces[group].restrict(horizon), 0, root_entry)
 
     sim.run()
+    # Function-local import: keeps the simulation layer importable
+    # without the runtime package at module-load time.
+    from repro.runtime.telemetry import record_engine
+
+    record_engine(sim)
     if not per_receiver:
         raise RuntimeError("no packet was delivered; empty trace?")
     worst_host = max(per_receiver, key=lambda h: per_receiver[h])
