@@ -29,6 +29,7 @@ BENCH_PR4_PATH = _REPO_ROOT / "BENCH_pr4.json"
 BENCH_PR5_PATH = _REPO_ROOT / "BENCH_pr5.json"
 BENCH_PR6_PATH = _REPO_ROOT / "BENCH_pr6.json"
 BENCH_PR7_PATH = _REPO_ROOT / "BENCH_pr7.json"
+BENCH_PR8_PATH = _REPO_ROOT / "BENCH_pr8.json"
 
 
 @pytest.fixture(scope="session")
@@ -117,6 +118,14 @@ def bench_pr7():
     data: dict = {}
     yield data
     _merge_bench_file(BENCH_PR7_PATH, 7, data)
+
+
+@pytest.fixture(scope="session")
+def bench_pr8():
+    """Collects PR-8 fault-tolerance metrics; merged into ``BENCH_pr8.json``."""
+    data: dict = {}
+    yield data
+    _merge_bench_file(BENCH_PR8_PATH, 8, data)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

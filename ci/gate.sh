@@ -85,3 +85,25 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
   exit 1
 }
 echo "telemetry gate: clean (on == off == pinned baseline, report renders)"
+
+# -- chaos gate: retries never change results ------------------------------
+# Re-run the same 24-cell smoke under deterministic fault injection
+# (worker kills, kernel raises, delays, torn/failed store writes at a
+# >=10% rate) with bounded retries.  The campaign must recover every
+# cell and write a summary.json byte-identical to the pinned baseline
+# -- on both store backends.  This is the PR 8 invariant: cell seeds
+# derive from the spec alone, so retries are invisible to results.
+CHAOS_DIR="$(mktemp -d)"
+for backend in jsonl sqlite; do
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+    scenarios run \
+    --count 24 --seed 11 --no-corpus \
+    --jobs 2 --executor process \
+    --retries 3 --cell-timeout 30 --inject-faults 7:0.15 \
+    --store "$backend:$CHAOS_DIR/$backend" >/dev/null
+  if ! cmp "$CHAOS_DIR/$backend/summary.json" ci/baseline_smoke/summary.json; then
+    echo "chaos gate: FAILED ($backend summary diverged under fault injection)" >&2
+    exit 1
+  fi
+done
+echo "chaos gate: clean (fault-injected summaries byte-identical, both backends)"

@@ -283,6 +283,26 @@ def _scenarios_main(argv: list[str]) -> int:
         help="single rewriting status line on stderr: done/total, "
         "cells/s, ETA (seeded from the cost model, then observed rate)",
     )
+    p_run.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed cell up to N times (bounded exponential "
+        "backoff with seeded jitter; retries never change results -- "
+        "cell seeds derive from the spec, not the attempt)",
+    )
+    p_run.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock cap on a cell (SIGALRM in the "
+        "executing process, plus a parent-side watchdog on process "
+        "pools); a timed-out attempt is retryable like any failure",
+    )
+    p_run.add_argument(
+        "--inject-faults", default=None, metavar="SEED:RATE",
+        help="arm the deterministic chaos harness: inject worker "
+        "kills, kernel raises, delays and store-write faults at RATE "
+        "on a schedule that is a pure function of (SEED, cell "
+        "fingerprint); pair with --retries to prove recovery "
+        "(the CI chaos gate runs 7:0.15 with --retries 3)",
+    )
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", default=None, help="filter by tag")
     p_report = sub.add_parser(
@@ -423,6 +443,35 @@ def _scenarios_main(argv: list[str]) -> int:
             print(render_table(
                 ["counter", "total"], rows, title="== Engine counters ==",
             ))
+
+        attempts = tele.attempt_rows(records)
+        if attempts:
+            rows = [
+                [
+                    a.get("name") or "?",
+                    a.get("attempts", 1),
+                    a.get("disposition") or "?",
+                    "; ".join(str(f) for f in (a.get("faults") or []))[:80],
+                ]
+                for a in attempts
+            ]
+            recovered = sum(
+                1 for a in attempts if a.get("disposition") == "recovered"
+            )
+            print(render_table(
+                ["cell", "attempts", "disposition", "attempt errors"],
+                rows, title="== Retry ledger ==",
+            ))
+            print(
+                f"retried cells: {len(attempts)} "
+                f"({recovered} recovered, {len(attempts) - recovered} poison)"
+            )
+        for sr in tele.store_retry_rows(records):
+            print(
+                f"store-write retries ({sr.get('source', '?')}): "
+                f"{sr.get('append_retries', 0)} append, "
+                f"{sr.get('busy_retries', 0)} sqlite-busy"
+            )
 
         calib = tele.calibration_rows(records)
         if calib:
@@ -593,6 +642,25 @@ def _scenarios_main(argv: list[str]) -> int:
     if args.trace and args.no_telemetry:
         parser.error("--trace needs telemetry (drop --no-telemetry)")
 
+    retry = None
+    if args.retries:
+        if args.retries < 0:
+            parser.error("--retries must be >= 0")
+        from repro.runtime import RetryPolicy
+
+        # Jitter seeded from the campaign seed: replayable schedules.
+        retry = RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be > 0 seconds")
+    fault_plan = None
+    if args.inject_faults:
+        from repro.runtime import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.inject_faults)
+        except ValueError as exc:
+            parser.error(str(exc))
+
     tick = None
     progress = None
     if args.progress:
@@ -649,6 +717,9 @@ def _scenarios_main(argv: list[str]) -> int:
             progress=progress,
             cost_model=None if args.no_cost_model else "auto",
             group_cells=args.group_cells,
+            retry=retry,
+            cell_timeout=args.cell_timeout,
+            fault_plan=fault_plan,
         )
     finally:
         set_telemetry_enabled(telemetry_was)

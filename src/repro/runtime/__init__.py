@@ -63,6 +63,18 @@ tier-1 smoke slice to thousands of cells:
     --trace`` (Chrome trace-event JSON).  On by default; near-zero
     overhead; ``--no-telemetry`` (``set_enabled(False)``) kills it.
 
+``faults`` (:mod:`repro.runtime.faults`)
+    Deterministic chaos harness: a picklable ``FaultPlan`` injects
+    worker kills, kernel raises, delays/hangs and store-write faults
+    on a schedule that is a pure function of ``(fault_seed, cell
+    fingerprint, attempt)``.  Paired with the executor's
+    ``RetryPolicy`` / ``cell_timeout`` / pool resurrection and the
+    stores' crash-consistent writes, it backs the campaign invariant
+    that **retries never change results**: a campaign that survived
+    injected worker kills writes a ``summary.json`` byte-identical to
+    an undisturbed run (the CI chaos gate).  Off by default with a
+    zero-overhead no-op check.
+
 Usage::
 
     from repro.runtime import ProcessExecutor, ResultStore, run_campaign
@@ -99,13 +111,16 @@ from repro.runtime.cost import (
 )
 from repro.runtime.executor import (
     EXECUTOR_KINDS,
+    CellTimeout,
     Executor,
     ProcessExecutor,
+    RetryPolicy,
     SerialExecutor,
     TaskResult,
     ThreadExecutor,
     make_executor,
 )
+from repro.runtime.faults import FaultPlan, InjectedFault
 from repro.runtime.store import (
     CampaignDiff,
     JsonlResultStore,
@@ -140,8 +155,12 @@ __all__ = [
     "backend_profile",
     "plan_chunks",
     "EXECUTOR_KINDS",
+    "CellTimeout",
     "Executor",
+    "FaultPlan",
+    "InjectedFault",
     "JsonlResultStore",
+    "RetryPolicy",
     "ProcessExecutor",
     "ResultStore",
     "SerialExecutor",

@@ -27,11 +27,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import sqlite3
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
-from repro.runtime.executor import Executor
+from repro.runtime import faults
+from repro.runtime.executor import Executor, RetryPolicy, _error_head
+from repro.runtime.faults import FaultPlan, InjectedFault
 from repro.runtime.store import (
     ResultStore,
     cell_key,
@@ -234,6 +239,13 @@ class CampaignReport:
     cost_fit: Optional[dict] = None
     #: Telemetry records persisted to the store's telemetry table/file.
     telemetry_records: int = 0
+    #: Fault-tolerance accounting (attempt ledger): cells that needed
+    #: more than one attempt, cells that exhausted all retries (poison,
+    #: persisted to the store's poison channel), and store-write
+    #: retries spent (injected faults, transient I/O, SQLITE_BUSY).
+    retried_cells: int = 0
+    poisoned_cells: int = 0
+    store_retries: int = 0
 
     @property
     def evaluated(self) -> int:
@@ -266,6 +278,13 @@ class CampaignReport:
                 f"{self.skipped_budget_violations} over budget"
             )
         lines.extend(self.report.summary_lines())
+        if self.retried_cells or self.poisoned_cells or self.store_retries:
+            lines.append(
+                f"fault tolerance: {self.retried_cells} cells retried "
+                f"({self.retried_cells - self.poisoned_cells} recovered, "
+                f"{self.poisoned_cells} poison), "
+                f"{self.store_retries} store-write retries"
+            )
         if self.store_root is not None:
             lines.append(
                 f"store: {self.store_root} "
@@ -294,6 +313,9 @@ def run_campaign(
     tick: Optional[callable] = None,
     cost_model: Union[str, None, "CellCostModel"] = "auto",
     group_cells: Optional[bool] = None,
+    retry: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CampaignReport:
     """Evaluate ``scenarios`` with persistence and resume/skip.
 
@@ -328,6 +350,21 @@ def run_campaign(
     automatically on in-process executors, ``True``/``False`` force it
     on/off.  Throughput-only -- outcomes and store records are
     bit-identical either way (``wall_time`` attribution aside).
+
+    ``retry``/``cell_timeout``/``fault_plan`` are the fault-tolerance
+    knobs (all off by default with zero overhead): bounded per-cell
+    retries with replayable backoff, a per-attempt wall-clock cap, and
+    the deterministic chaos harness (:mod:`repro.runtime.faults`).
+    With a plan armed, store writes are retried under the same budget,
+    a heal pass quarantines any torn write residue before the summary
+    is computed, and the per-cell attempt ledger lands in the
+    telemetry channel (``kind == "attempts"``).  Cells that exhaust
+    all retries are appended to the store's poison channel with their
+    diagnosis; their error records keep ``--resume`` retrying exactly
+    them.  Determinism under retry is the campaign invariant: cell
+    seeds derive from the spec alone, never the attempt number, so a
+    run that survived injected worker kills writes a ``summary.json``
+    byte-identical to an undisturbed run.
     """
     from repro.runtime.cost import CellCostModel
 
@@ -378,17 +415,58 @@ def run_campaign(
             tick=tick,
             cost_model=model,
             group_cells=group_cells,
+            retry=retry,
+            cell_timeout=cell_timeout,
+            fault_plan=fault_plan,
         )
         if todo
         else _empty_report()
     )
 
+    retried = sum(
+        1 for o in report.outcomes if o.attempts > 1 or o.attempt_errors
+    )
+    poison = (
+        [o for o in report.outcomes if o.error is not None]
+        if retry is not None and retry.max_attempts > 1
+        else []
+    )
+
     store_records = 0
     telemetry_count = 0
+    store_retries = 0
     if result_store is not None:
-        result_store.append_many(outcome_record(o) for o in report.outcomes)
+        store_retries = _append_results_with_retry(
+            result_store,
+            [outcome_record(o) for o in report.outcomes],
+            retry=retry,
+            fault_plan=fault_plan,
+        )
+        if poison:
+            result_store.append_poison(
+                {
+                    "key": cell_key(o.scenario),
+                    "name": o.scenario.name,
+                    "attempts": int(o.attempts),
+                    "error_head": _error_head(o.error),
+                    "attempt_errors": list(o.attempt_errors),
+                }
+                for o in poison
+            )
+        if fault_plan is not None:
+            # Heal pass: an injected torn write leaves residue on disk
+            # exactly like a real crash; loading quarantines it (and
+            # rewrites the JSONL file clean) *before* the summary
+            # aggregates, so a recovered chaos campaign summarises
+            # byte-identically to an undisturbed run.
+            result_store.load()
+            quarantined = max(quarantined, result_store.quarantined)
         telemetry_count = _persist_telemetry(
-            result_store, report, model=model, cost_fit=cost_fit
+            result_store,
+            report,
+            model=model,
+            cost_fit=cost_fit,
+            store_retries=store_retries,
         )
         # The summary is deterministic (content-derived aggregates
         # only, no run-local extras): a sharded run's final summary is
@@ -397,6 +475,7 @@ def run_campaign(
         summary = result_store.write_summary()
         store_records = int(summary["cells"])
         quarantined = max(quarantined, result_store.quarantined)
+        store_retries += getattr(result_store, "busy_retries", 0)
     return CampaignReport(
         report=report,
         requested=len(scenarios),
@@ -410,7 +489,57 @@ def run_campaign(
         shard=parse_shard(shard),
         cost_fit=cost_fit,
         telemetry_records=telemetry_count,
+        retried_cells=retried,
+        poisoned_cells=len(poison),
+        store_retries=store_retries,
     )
+
+
+#: Store-append retry budget when no explicit policy is given but a
+#: fault plan is active (the plan's own max_attempt still bounds how
+#: long injection can keep failing a write).
+_STORE_APPEND_BACKOFF_S = 0.05
+
+
+def _append_results_with_retry(
+    result_store: ResultStore,
+    records: list,
+    *,
+    retry: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan],
+) -> int:
+    """Append the result batch, absorbing retryable store failures.
+
+    Injected store faults (chaos harness), transient ``OSError`` and
+    SQLite lock errors are retried under the campaign's retry budget;
+    the whole batch is re-appended each time, which is safe because
+    records are keyed last-record-wins and torn residue is quarantined
+    by the next load.  The attempt number is published to the fault
+    layer so injected store faults respect ``max_attempt`` -- bounded
+    retries provably recover.  Returns the number of retries spent.
+    """
+    attempts = retry.max_attempts if retry is not None else 1
+    if fault_plan is not None:
+        attempts = max(attempts, fault_plan.max_attempt + 1)
+    for attempt in range(1, attempts + 1):
+        ctx = (
+            faults.activate(fault_plan)
+            if fault_plan is not None
+            else nullcontext()
+        )
+        try:
+            with ctx, faults.attempt_scope(attempt):
+                result_store.append_many(records)
+            return attempt - 1
+        except (InjectedFault, OSError, sqlite3.OperationalError):
+            if attempt >= attempts:
+                raise
+            time.sleep(
+                retry.delay(attempt, token="store-append")
+                if retry is not None
+                else _STORE_APPEND_BACKOFF_S
+            )
+    return attempts - 1  # pragma: no cover - loop always returns/raises
 
 
 def _persist_telemetry(
@@ -419,6 +548,7 @@ def _persist_telemetry(
     *,
     model=None,
     cost_fit: Optional[dict] = None,
+    store_retries: int = 0,
 ) -> int:
     """Append this run's telemetry to the store's telemetry channel.
 
@@ -426,15 +556,31 @@ def _persist_telemetry(
     (annotated with the cell key, effective backend, recorded wall
     clock and the scheduler's predicted cost, so the report's
     calibration table needs no join), the grouped evaluator's
-    ``grouping``/``grouping_summary`` records, and one ``fit`` record
-    when a resume refit ran.  Returns the record count; a disabled
-    telemetry switch (or a run with no telemetry) appends nothing.
+    ``grouping``/``grouping_summary`` records, one ``fit`` record when
+    a resume refit ran, one ``attempts`` ledger record per cell that
+    needed more than a single attempt (fault kinds, final
+    disposition), and one ``store_retries`` record when store writes
+    had to be retried.  Returns the record count; a disabled telemetry
+    switch (or a run with no telemetry) appends nothing.
     """
     from repro.runtime.telemetry import cell_record, enabled
 
     if not enabled():
         return 0
     records: list[dict] = []
+    for o in report.outcomes:
+        if o.attempts <= 1 and not o.attempt_errors:
+            continue
+        records.append(
+            {
+                "kind": "attempts",
+                "key": cell_key(o.scenario),
+                "name": o.scenario.name,
+                "attempts": int(o.attempts),
+                "faults": list(o.attempt_errors),
+                "disposition": "poison" if o.error is not None else "recovered",
+            }
+        )
     for o in report.outcomes:
         if o.telemetry is None:
             continue
@@ -458,6 +604,17 @@ def _persist_telemetry(
         records.append(dict(g))
     if cost_fit:
         records.append({"kind": "fit", **cost_fit})
+    if store_retries:
+        records.append(
+            {
+                "kind": "store_retries",
+                "append_retries": int(store_retries),
+                "busy_retries": int(
+                    getattr(result_store, "busy_retries", 0)
+                ),
+                "source": "campaign",
+            }
+        )
     if records:
         result_store.append_telemetry(records)
     return len(records)

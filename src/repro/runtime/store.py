@@ -82,6 +82,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
+from repro.runtime.faults import InjectedFault, active_plan
+
 __all__ = [
     "SCHEMA_VERSION",
     "spec_fingerprint",
@@ -105,6 +107,21 @@ _KEY_LEN = 16
 
 def _canonical_json(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss
+    (best-effort: not every filesystem supports directory fds)."""
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _coerce_root(root: Any, scheme: str) -> Path:
@@ -274,6 +291,19 @@ class ResultStore:
         skipped -- telemetry must never fail a load)."""
         return []
 
+    def append_poison(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Persist poison-cell records (cells that failed all retries).
+
+        A dedicated quarantine-like channel, separate from results so a
+        ``--resume`` can retry exactly the poisoned cells while the
+        diagnosis (attempt count, last error) survives next to the
+        campaign.  Appends accumulate; no-op in the base class.
+        """
+
+    def load_poison(self) -> list[dict[str, Any]]:
+        """All poison records, in append order (best-effort parse)."""
+        return []
+
     def close(self) -> None:
         """Release backend resources (no-op for file-based backends)."""
 
@@ -326,14 +356,21 @@ class ResultStore:
         }
         if extra:
             summary.update(extra)
-        # Atomic replace: concurrent shard processes each rewrite the
-        # summary as they finish, and a reader (or a racing writer)
-        # must never observe a truncated file.
+        # Crash-consistent replace: concurrent shard processes each
+        # rewrite the summary as they finish, and a reader (or a racing
+        # writer, or a resume after SIGKILL) must never observe a
+        # truncated file.  The tmp file is fsynced before the rename
+        # and the directory after it, so the summary survives not just
+        # a process kill but a power cut at any instant.
         tmp = self.summary_path.with_name(
             f".{self.SUMMARY}.{os.getpid()}.tmp"
         )
-        tmp.write_text(json.dumps(summary, indent=2) + "\n")
+        with tmp.open("w") as fh:
+            fh.write(json.dumps(summary, indent=2) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.summary_path)
+        _fsync_dir(self.root)
         return summary
 
 
@@ -353,13 +390,19 @@ class JsonlResultStore(ResultStore):
     RESULTS = "results.jsonl"
     QUARANTINE = "quarantine.jsonl"
     TELEMETRY = "telemetry.jsonl"
+    POISON = "poison.jsonl"
 
     kind = "jsonl"
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], *, fsync: bool = False):
         self.root = _coerce_root(root, "jsonl")
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
+        #: Durability knob: fsync ``results.jsonl`` after every append
+        #: batch, trading throughput for power-loss safety.  Off by
+        #: default -- append atomicity plus the quarantine already
+        #: cover process-kill crashes, the common failure.
+        self.fsync = bool(fsync)
 
     @property
     def results_path(self) -> Path:
@@ -371,15 +414,57 @@ class JsonlResultStore(ResultStore):
 
     # -- writing ---------------------------------------------------------
     def append(self, record: Mapping[str, Any]) -> None:
-        with self.results_path.open("a") as fh:
-            fh.write(_canonical_json(self._stamp(record)) + "\n")
+        self.append_many([record])
 
     def append_many(self, records: Iterable[Mapping[str, Any]]) -> None:
+        records = list(records)
         lines = [_canonical_json(self._stamp(rec)) + "\n" for rec in records]
         if not lines:
             return
+        plan = active_plan()
+        # A crash (or injected torn write) can leave the file ending
+        # mid-line; appending straight after would merge this batch's
+        # first record into the torn residue and lose it.  Start every
+        # batch on a fresh line so the residue quarantines alone.
+        torn_tail = False
+        try:
+            if self.results_path.stat().st_size > 0:
+                with self.results_path.open("rb") as rf:
+                    rf.seek(-1, os.SEEK_END)
+                    torn_tail = rf.read(1) != b"\n"
+        except OSError:
+            pass
         with self.results_path.open("a") as fh:
-            fh.write("".join(lines))
+            if torn_tail:
+                fh.write("\n")
+            if plan is None:
+                fh.write("".join(lines))
+            else:
+                # Chaos-harness path: write record by record so an
+                # injected failure leaves the same on-disk states a
+                # real crash would -- nothing ("fail") or a torn line
+                # ("torn").  Retrying re-appends the whole batch:
+                # duplicates resolve last-record-wins and the torn
+                # residue is quarantined on the next load.
+                for rec, line in zip(records, lines):
+                    kind = plan.store_fault(str(rec.get("key", "")))
+                    if kind == "fail":
+                        fh.flush()
+                        raise InjectedFault(
+                            f"injected store failure before record "
+                            f"{rec.get('key')!r}"
+                        )
+                    if kind == "torn":
+                        fh.write(line[: max(1, len(line) // 2)])
+                        fh.flush()
+                        raise InjectedFault(
+                            f"injected torn write at record "
+                            f"{rec.get('key')!r}"
+                        )
+                    fh.write(line)
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
 
     def append_telemetry(self, records: Iterable[Mapping[str, Any]]) -> None:
         lines = [_canonical_json(dict(rec)) + "\n" for rec in records]
@@ -400,6 +485,29 @@ class JsonlResultStore(ResultStore):
                 rec = json.loads(line)
             except json.JSONDecodeError:
                 continue  # telemetry is best-effort: skip torn lines
+            if isinstance(rec, dict):
+                out.append(rec)
+        return out
+
+    def append_poison(self, records: Iterable[Mapping[str, Any]]) -> None:
+        lines = [_canonical_json(dict(rec)) + "\n" for rec in records]
+        if not lines:
+            return
+        with (self.root / self.POISON).open("a") as fh:
+            fh.write("".join(lines))
+
+    def load_poison(self) -> list[dict[str, Any]]:
+        path = self.root / self.POISON
+        if not path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # diagnosis channel: best-effort like telemetry
             if isinstance(rec, dict):
                 out.append(rec)
         return out
@@ -502,9 +610,15 @@ def merge_stores(
 
     Backends may differ freely: JSONL shards can merge into a SQLite
     store and vice versa.  Returns the rewritten summary.
+
+    A locked destination (another shard mid-commit) is absorbed by the
+    SQLite backend's bounded busy-retry rather than failing the merge;
+    any retries spent are surfaced as a ``store_retries`` telemetry
+    record on the destination.
     """
     dest_store = open_store(dest)
     merged: dict[str, dict[str, Any]] = {}
+    busy = 0
     for src in sources:
         src_store = open_store(src)
         if (
@@ -513,11 +627,18 @@ def merge_stores(
         ):
             raise ValueError(f"cannot merge store {src!r} into itself")
         merged.update(src_store.load())
+        busy += getattr(src_store, "busy_retries", 0)
     if merged:
         dest_store.append_many(
             merged[key] for key in sorted(merged)
         )
-    return dest_store.write_summary()
+    summary = dest_store.write_summary()
+    busy += getattr(dest_store, "busy_retries", 0)
+    if busy:
+        dest_store.append_telemetry(
+            [{"kind": "store_retries", "busy_retries": busy, "source": "merge"}]
+        )
+    return summary
 
 
 # ----------------------------------------------------------------------

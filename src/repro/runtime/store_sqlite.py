@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Union
+from typing import Any, Callable, Iterable, Mapping, Union
 
+from repro.runtime.faults import InjectedFault, active_plan
 from repro.runtime.store import ResultStore, _canonical_json, _coerce_root
 
 __all__ = ["SqliteResultStore"]
@@ -39,6 +41,13 @@ __all__ = ["SqliteResultStore"]
 #: Milliseconds a writer waits on a locked database before erroring;
 #: generous because shard processes commit whole campaign batches.
 BUSY_TIMEOUT_MS = 30_000
+
+#: Bounded busy-retry on top of SQLite's own busy timeout: attempts of
+#: the whole transaction after a ``database is locked/busy`` error.
+BUSY_RETRIES = 4
+#: First busy-retry backoff (seconds); doubles per retry, capped below.
+BUSY_BACKOFF_S = 0.05
+BUSY_BACKOFF_MAX_S = 1.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -54,7 +63,17 @@ CREATE TABLE IF NOT EXISTS telemetry (
     kind   TEXT NOT NULL,
     record TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS poison (
+    id     INTEGER PRIMARY KEY,
+    key    TEXT NOT NULL,
+    record TEXT NOT NULL
+);
 """
+
+
+def _is_busy_error(exc: sqlite3.OperationalError) -> bool:
+    msg = str(exc).lower()
+    return "locked" in msg or "busy" in msg
 
 
 class SqliteResultStore(ResultStore):
@@ -74,7 +93,26 @@ class SqliteResultStore(ResultStore):
         self.root = _coerce_root(root, "sqlite")
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
+        #: Busy-retry accounting: transactions re-run after a
+        #: ``database is locked/busy`` error (surfaced as a
+        #: ``store_retries`` telemetry record by campaign and merge).
+        self.busy_retries = 0
         self._conn: sqlite3.Connection | None = None
+
+    def _with_busy_retry(self, op: Callable[[], Any]) -> Any:
+        """Run one whole transaction with bounded backoff on lock
+        contention (on top of SQLite's own ``busy_timeout``, which a
+        writer-starved WAL checkpoint can still exhaust)."""
+        delay = BUSY_BACKOFF_S
+        for attempt in range(BUSY_RETRIES + 1):
+            try:
+                return op()
+            except sqlite3.OperationalError as exc:
+                if not _is_busy_error(exc) or attempt >= BUSY_RETRIES:
+                    raise
+                self.busy_retries += 1
+                time.sleep(delay)
+                delay = min(delay * 2.0, BUSY_BACKOFF_MAX_S)
 
     @property
     def db_path(self) -> Path:
@@ -109,13 +147,40 @@ class SqliteResultStore(ResultStore):
         rows = [self._row(rec) for rec in records]
         if not rows:
             return
-        conn = self._connect()
-        with conn:  # one transaction per batch, however large
-            conn.executemany(
-                "INSERT OR REPLACE INTO results (key, v, record) "
-                "VALUES (?, ?, ?)",
-                rows,
-            )
+        plan = active_plan()
+        torn_exc = None
+        if plan is not None:
+            # Chaos-harness path: an injected "fail" drops the whole
+            # uncommitted transaction (what a crash mid-commit does);
+            # an injected "torn" commits the batch with the victim's
+            # payload truncated (what a corrupted page recovers to) --
+            # a retry's INSERT OR REPLACE heals it, an abandoned store
+            # quarantines it on the next load.
+            for i, (key, v, raw) in enumerate(rows):
+                kind = plan.store_fault(key)
+                if kind == "fail":
+                    raise InjectedFault(
+                        f"injected store failure before record {key!r}"
+                    )
+                if kind == "torn":
+                    rows[i] = (key, v, raw[: max(1, len(raw) // 2)])
+                    torn_exc = InjectedFault(
+                        f"injected torn payload at record {key!r}"
+                    )
+                    break
+
+        def _commit():
+            conn = self._connect()
+            with conn:  # one transaction per batch, however large
+                conn.executemany(
+                    "INSERT OR REPLACE INTO results (key, v, record) "
+                    "VALUES (?, ?, ?)",
+                    rows,
+                )
+
+        self._with_busy_retry(_commit)
+        if torn_exc is not None:
+            raise torn_exc
 
     def append_telemetry(self, records: Iterable[Mapping[str, Any]]) -> None:
         rows = [
@@ -124,12 +189,16 @@ class SqliteResultStore(ResultStore):
         ]
         if not rows:
             return
-        conn = self._connect()
-        with conn:
-            conn.executemany(
-                "INSERT INTO telemetry (kind, record) VALUES (?, ?)",
-                rows,
-            )
+
+        def _commit():
+            conn = self._connect()
+            with conn:
+                conn.executemany(
+                    "INSERT INTO telemetry (kind, record) VALUES (?, ?)",
+                    rows,
+                )
+
+        self._with_busy_retry(_commit)
 
     def load_telemetry(self) -> list[dict[str, Any]]:
         if not self.db_path.exists():
@@ -142,6 +211,39 @@ class SqliteResultStore(ResultStore):
                 rec = json.loads(raw)
             except json.JSONDecodeError:
                 continue  # telemetry is best-effort: skip bad rows
+            if isinstance(rec, dict):
+                out.append(rec)
+        return out
+
+    def append_poison(self, records: Iterable[Mapping[str, Any]]) -> None:
+        rows = [
+            (str(rec.get("key", "")), _canonical_json(dict(rec)))
+            for rec in records
+        ]
+        if not rows:
+            return
+
+        def _commit():
+            conn = self._connect()
+            with conn:
+                conn.executemany(
+                    "INSERT INTO poison (key, record) VALUES (?, ?)",
+                    rows,
+                )
+
+        self._with_busy_retry(_commit)
+
+    def load_poison(self) -> list[dict[str, Any]]:
+        if not self.db_path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        for (raw,) in self._connect().execute(
+            "SELECT record FROM poison ORDER BY id"
+        ):
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # diagnosis channel: best-effort like telemetry
             if isinstance(rec, dict):
                 out.append(rec)
         return out
@@ -166,15 +268,19 @@ class SqliteResultStore(ResultStore):
             records[str(rec_key)] = rec
         if bad:
             self.quarantined = len(bad)
-            with conn:
-                conn.executemany(
-                    "INSERT INTO quarantine (line) VALUES (?)",
-                    [(raw,) for _, raw in bad],
-                )
-                conn.executemany(
-                    "DELETE FROM results WHERE key = ?",
-                    [(key,) for key, _ in bad],
-                )
+
+            def _commit():
+                with conn:
+                    conn.executemany(
+                        "INSERT INTO quarantine (line) VALUES (?)",
+                        [(raw,) for _, raw in bad],
+                    )
+                    conn.executemany(
+                        "DELETE FROM results WHERE key = ?",
+                        [(key,) for key, _ in bad],
+                    )
+
+            self._with_busy_retry(_commit)
         return records
 
     def quarantine_lines(self) -> list[str]:

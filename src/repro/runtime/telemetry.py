@@ -80,6 +80,8 @@ __all__ = [
     "cell_record",
     "phase_breakdown",
     "counter_totals",
+    "attempt_rows",
+    "store_retry_rows",
     "top_slowest",
     "calibration_rows",
     "grouping_rows",
@@ -268,6 +270,29 @@ def counter_totals(records: Iterable[Mapping]) -> dict[str, int]:
                 if isinstance(n, (int, float)):
                     totals[str(name)] = totals.get(str(name), 0) + int(n)
     return totals
+
+
+def attempt_rows(records: Iterable[Mapping]) -> list[dict]:
+    """Retry-ledger records (``kind == "attempts"``) from a campaign.
+
+    One row per cell that needed more than one attempt (or recorded
+    injected faults), with its final ``disposition`` -- ``recovered``
+    or ``poison`` -- and the per-attempt error heads in ``faults``.
+    """
+    out: list[dict] = []
+    for rec in records:
+        if rec.get("kind") == "attempts" and isinstance(rec, Mapping):
+            out.append(dict(rec))
+    return out
+
+
+def store_retry_rows(records: Iterable[Mapping]) -> list[dict]:
+    """Store-write retry records (``kind == "store_retries"``)."""
+    return [
+        dict(rec)
+        for rec in records
+        if rec.get("kind") == "store_retries" and isinstance(rec, Mapping)
+    ]
 
 
 def top_slowest(records: Iterable[Mapping], n: int = 10) -> list[Mapping]:

@@ -40,6 +40,7 @@ count, chunking or completion order.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -51,7 +52,15 @@ from repro.core.adaptive import AdaptiveController
 from repro.core.delay_bounds import theorem1_wdb_heterogeneous
 from repro.core.multicast_bounds import dsct_height_bound
 from repro.overlay.groups import MultiGroupNetwork
-from repro.runtime.executor import Executor, SerialExecutor, TaskResult
+from repro.runtime import faults
+from repro.runtime.executor import (
+    Executor,
+    RetryPolicy,
+    SerialExecutor,
+    TaskResult,
+    _error_head,
+    _run_one_with_retry,
+)
 from repro.runtime.telemetry import CellTelemetry, counter_add, span
 from repro.scenarios.analytic import batch_bounds
 from repro.scenarios.spec import Scenario
@@ -146,6 +155,11 @@ class ScenarioOutcome:
     telemetry: Optional[CellTelemetry] = field(
         default=None, compare=False, repr=False
     )
+    #: Attempt-ledger fields (retry/fault-tolerance accounting), also
+    #: excluded from equality: a recovered cell must compare equal to
+    #: an undisturbed one -- the determinism-under-retry invariant.
+    attempts: int = field(default=1, compare=False)
+    attempt_errors: tuple = field(default=(), compare=False, repr=False)
 
     @property
     def sound(self) -> bool:
@@ -555,6 +569,9 @@ def evaluate_cell(scenario: Scenario) -> CellResult:
     """
     with span("realise"):
         r = _realise(scenario)
+    # Chaos-harness hook: a single None check when no FaultPlan is
+    # active, an injected failure (raise/kill/delay/hang) when one is.
+    faults.check_fault("kernel", scenario)
     with span("simulate"):
         measured, events, cancelled, primed = _simulate(r)
     if primed:
@@ -625,6 +642,8 @@ def _error_outcome(
         wall_time=task.wall_time,
         error=task.error or "unknown worker error",
         telemetry=task.telemetry,
+        attempts=task.attempts,
+        attempt_errors=tuple(task.attempt_errors),
     )
 
 
@@ -686,6 +705,8 @@ def finalise_batch(
                 wall_time=task.wall_time,
                 primed=cell.primed,
                 telemetry=task.telemetry,
+                attempts=task.attempts,
+                attempt_errors=tuple(task.attempt_errors),
             )
         outcomes.append(outcome)
         if progress is not None:
@@ -718,6 +739,9 @@ def run_batch(
     tick: Optional[callable] = None,
     cost_model=None,
     group_cells: Optional[bool] = None,
+    retry: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> BatchReport:
     """Evaluate a scenario matrix: parallel cells, vectorised bounds.
 
@@ -745,6 +769,14 @@ def run_batch(
     bit-identical either way (``wall_time`` attribution aside, which
     grouped evaluation estimates by amortising each group kernel over
     its cells).
+
+    ``retry``/``cell_timeout`` opt into the executor's fault-tolerant
+    path (see :class:`repro.runtime.executor.RetryPolicy`); grouped
+    evaluation runs in-process, so there they apply as a serial
+    retry pass over the cells whose first (grouped) attempt errored.
+    ``fault_plan`` (a :class:`repro.runtime.faults.FaultPlan`) arms the
+    deterministic chaos harness; it forces per-cell evaluation, since
+    injection targets the ``evaluate_cell`` path.
     """
     # An empty matrix is a legal degenerate case (a shard that owns
     # zero cells, `--shard i/N` with N > count): report nothing rather
@@ -754,11 +786,38 @@ def run_batch(
     scenarios = list(scenarios)
     t0 = time.perf_counter()
     ex = executor if executor is not None else SerialExecutor()
+    if fault_plan is not None:
+        # Injection lives in evaluate_cell; the grouped evaluator's
+        # batch kernels would bypass it.
+        group_cells = False
     if group_cells is None:
         group_cells = getattr(ex, "supports_cell_grouping", False)
+    worker = (
+        evaluate_cell
+        if fault_plan is None
+        else functools.partial(faults.evaluate_cell_under_plan, fault_plan)
+    )
     if group_cells:
         stats: dict = {}
         tasks = evaluate_cells_grouped(scenarios, tick=tick, stats=stats)
+        if retry is not None and retry.max_attempts > 1:
+            # Grouped evaluation already spent attempt 1 of any cell
+            # that errored; give it the rest of its budget per-cell.
+            tasks = [
+                t
+                if t.ok
+                else _run_one_with_retry(
+                    evaluate_cell,
+                    t.index,
+                    scenarios[t.index],
+                    True,
+                    retry,
+                    cell_timeout,
+                    start_attempt=2,
+                    prior_errors=(_error_head(t.error),),
+                )
+                for t in tasks
+            ]
         report = finalise_batch(
             scenarios, tasks, time.perf_counter() - t0, progress=progress
         )
@@ -777,7 +836,12 @@ def run_batch(
             groups=[spec_group_key(sc) for sc in scenarios],
         )
     tasks = ex.map_tasks(
-        evaluate_cell, scenarios, progress=tick, chunk_plan=plan
+        worker,
+        scenarios,
+        progress=tick,
+        chunk_plan=plan,
+        retry=retry,
+        cell_timeout=cell_timeout,
     )
     return finalise_batch(
         scenarios, tasks, time.perf_counter() - t0, progress=progress

@@ -1,0 +1,161 @@
+"""Crash consistency: SIGKILL a live campaign, resume to the same bytes.
+
+The store layer claims crash-consistent writes (append atomicity plus
+torn-line quarantine on JSONL, transactional commits on SQLite, and a
+fsync'd write-temp-then-replace ``summary.json``).  These tests earn
+the claim the honest way: a subprocess runs a sliced campaign, the
+parent SIGKILLs it mid-run at an arbitrary instant, and a plain
+``resume=True`` re-run must converge to a ``summary.json``
+byte-identical to an undisturbed campaign -- on both backends,
+whatever half-written state the kill left behind.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.runtime import run_campaign
+from repro.runtime.store import JsonlResultStore, open_store
+from repro.scenarios import generate_scenarios
+
+pytestmark = pytest.mark.runtime
+
+N_CELLS = 24
+SEED = 11
+
+#: Driver for the victim subprocess: evaluates the smoke matrix in
+#: small resumable slices, so a kill can land between (or inside) many
+#: separate store-append windows.
+_DRIVER = """
+import sys
+from repro.runtime import run_campaign
+from repro.scenarios import generate_scenarios
+
+store = sys.argv[1]
+cells = generate_scenarios({n}, seed={seed})
+for hi in range(3, {n} + 1, 3):
+    run_campaign(cells[:hi], store=store, resume=True)
+print("COMPLETE", flush=True)
+""".format(n=N_CELLS, seed=SEED)
+
+
+def _run_driver(store_url):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    return subprocess.Popen(
+        [sys.executable, "-c", _DRIVER, store_url],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_summary(tmp_path_factory):
+    root = tmp_path_factory.mktemp("ref") / "store"
+    report = run_campaign(
+        generate_scenarios(N_CELLS, seed=SEED), store=root
+    )
+    assert report.clean
+    return (root / "summary.json").read_bytes()
+
+
+@pytest.mark.parametrize("scheme", ["jsonl:", "sqlite:"])
+def test_sigkill_mid_campaign_resumes_byte_identical(
+    scheme, tmp_path, reference_summary
+):
+    root = tmp_path / "victim"
+    url = scheme + str(root)
+
+    victim = _run_driver(url)
+    # Kill as soon as the store shows first results on disk -- early
+    # enough that real work (and real appends) remain outstanding.
+    results = root / (
+        "results.jsonl" if scheme == "jsonl:" else "results.sqlite"
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and victim.poll() is None:
+        if results.exists() and results.stat().st_size > 0:
+            break
+        time.sleep(0.01)
+    if victim.poll() is None:
+        time.sleep(0.05)  # land inside the next slice, not at a seam
+        victim.send_signal(signal.SIGKILL)
+    out, _ = victim.communicate(timeout=60)
+    assert "Traceback" not in out, out
+
+    finisher = _run_driver(url)
+    out, _ = finisher.communicate(timeout=300)
+    assert finisher.returncode == 0, out
+    assert "COMPLETE" in out
+
+    assert (root / "summary.json").read_bytes() == reference_summary
+    summary = json.loads((root / "summary.json").read_text())
+    assert summary["cells"] == N_CELLS and summary["errors"] == 0
+
+
+def test_torn_results_tail_quarantined_on_resume(
+    tmp_path, reference_summary
+):
+    """A real torn tail (what SIGKILL mid-append leaves): resume must
+    quarantine it, re-evaluate the lost cell, and still converge."""
+    cells = generate_scenarios(N_CELLS, seed=SEED)
+    root = tmp_path / "torn"
+    run_campaign(cells[:8], store=root)
+    results = JsonlResultStore(root).results_path
+    whole = results.read_text().splitlines()
+    # Tear the final record in half, exactly like an interrupted write.
+    results.write_text(
+        "\n".join(whole[:-1]) + "\n" + whole[-1][: len(whole[-1]) // 2]
+    )
+
+    report = run_campaign(cells, store=root, resume=True)
+    assert report.clean
+    assert report.quarantined == 1
+    assert report.evaluated == N_CELLS - 7  # the torn cell re-ran
+    assert (root / "summary.json").read_bytes() == reference_summary
+    assert (root / "quarantine.jsonl").exists()
+
+
+def test_corrupt_summary_regenerated_on_resume(tmp_path, reference_summary):
+    """summary.json is derived state: a truncated one (power cut during
+    a non-fsync'd write on an old store) is simply rewritten."""
+    cells = generate_scenarios(N_CELLS, seed=SEED)
+    root = tmp_path / "sumcut"
+    run_campaign(cells, store=root)
+    summary_path = root / "summary.json"
+    summary_path.write_bytes(summary_path.read_bytes()[:37])
+
+    report = run_campaign(cells, store=root, resume=True)
+    assert report.clean and report.skipped == N_CELLS
+    assert summary_path.read_bytes() == reference_summary
+
+
+def test_append_after_torn_tail_never_eats_a_record(tmp_path):
+    """The store-level regression behind the quarantine story: a fresh
+    append after a torn tail must start on its own line, or the torn
+    residue silently swallows the first new record."""
+    store = JsonlResultStore(tmp_path / "tail")
+    store.append_many([{"key": "a", "sound": True}])
+    with store.results_path.open("a") as fh:
+        fh.write('{"key": "half')  # no newline: a torn tail
+    store.append_many([{"key": "b", "sound": True}])
+    loaded = store.load()
+    assert set(loaded) == {"a", "b"}
+    assert store.quarantined == 1
+
+
+def test_open_store_autodetects_after_crash(tmp_path):
+    """Resume never needs the URL re-spelled: a bare path reopens the
+    backend the crashed run was using."""
+    root = tmp_path / "auto"
+    run_campaign(
+        generate_scenarios(4, seed=SEED), store="sqlite:" + str(root)
+    )
+    assert open_store(root).kind == "sqlite"
