@@ -30,6 +30,7 @@ BENCH_PR5_PATH = _REPO_ROOT / "BENCH_pr5.json"
 BENCH_PR6_PATH = _REPO_ROOT / "BENCH_pr6.json"
 BENCH_PR7_PATH = _REPO_ROOT / "BENCH_pr7.json"
 BENCH_PR8_PATH = _REPO_ROOT / "BENCH_pr8.json"
+BENCH_PR9_PATH = _REPO_ROOT / "BENCH_pr9.json"
 
 
 @pytest.fixture(scope="session")
@@ -126,6 +127,14 @@ def bench_pr8():
     data: dict = {}
     yield data
     _merge_bench_file(BENCH_PR8_PATH, 8, data)
+
+
+@pytest.fixture(scope="session")
+def bench_pr9():
+    """Collects PR-9 batched-realisation metrics; merged into ``BENCH_pr9.json``."""
+    data: dict = {}
+    yield data
+    _merge_bench_file(BENCH_PR9_PATH, 9, data)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,159 @@
+"""Batched trace-synthesis benchmarks (the PR-9 tentpole numbers).
+
+PR 6 collapsed the *evaluation* of coherent cell groups into
+structure-of-arrays kernels; what remained of the grouped campaign hot
+path was per-cell, per-flow realisation Python -- seed derivation, one
+``generate`` call per lane, one empirical-sigma pass per unique trace.
+PR 9 realises the whole candidate batch in flat passes
+(:mod:`repro.scenarios.tracebatch`): deterministic lanes ride shared
+grids and shared trace objects across cells, stochastic lanes keep
+their bit-identical per-lane RNG streams, and sigma is measured over
+packed padded matrices.  Results stay bit-identical to the per-cell
+realisation (``tests/test_tracebatch.py`` enforces it); these
+benchmarks measure the throughput side and emit ``BENCH_pr9.json``.
+
+The realisation-bound campaign (unshared k = 12 CBR flows per cell: the
+per-cell path generates and measures 12 lanes per cell, the batched
+path shares one trace and one sigma pass per parameter point across the
+whole matrix) is where batching pays most; observed on the reference
+container ~10x end-to-end through grouped ``run_batch``, past the
+5k cells/s mark.  Floors keep headroom so CI noise does not flake:
+
+* batched vs per-cell realisation on the realisation-bound grouped
+  campaign >= 3x cells/s, with the realise phase share of cell time
+  measurably reduced;
+* the mixed generated matrix must never regress below 0.7x -- batched
+  realisation is default-on for grouped runs, so near-parity on
+  unfavourable matrices is part of the contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime.executor import SerialExecutor
+from repro.scenarios import generate_scenarios, run_batch
+from repro.scenarios.spec import Scenario
+
+#: Asserted floor: batched vs per-cell realisation, grouped campaign.
+BATCH_REALISE_FLOOR = 3.0
+#: Asserted floor: batch-realise on vs off on the mixed generated matrix.
+MIXED_PARITY_FLOOR = 0.7
+
+N_CELLS = 1024
+
+
+def _realisation_bound_matrix(n: int = N_CELLS, k: int = 12):
+    """Unshared homogeneous CBR hosts over 8 parameter points: the
+    per-cell path realises ``k`` lanes per cell, the batched path one
+    trace and one sigma pass per parameter point for the whole matrix."""
+    return [
+        Scenario(
+            name=f"tb-{i}",
+            kinds=("cbr",) * k,
+            utilization=0.55 + 0.005 * (i % 8),
+            mode="sigma-rho",
+            backend="fluid",
+            horizon=0.5,
+            dt=4e-3,
+            seed=i,
+            shared=False,
+        )
+        for i in range(n)
+    ]
+
+
+def _best_of(n: int, fn, *args, **kwargs):
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _realise_share(report) -> float:
+    """Fraction of accounted cell time spent in the realise phase."""
+    realise = total = 0.0
+    for o in report.outcomes:
+        if o.telemetry is None:
+            continue
+        realise += o.telemetry.phases.get("realise", 0.0)
+        total += sum(o.telemetry.phases.values())
+    return realise / total if total else 0.0
+
+
+def _batched_vs_percell(cells):
+    t_per, per = _best_of(
+        2, run_batch, cells,
+        executor=SerialExecutor(), group_cells=True, batch_realise=False,
+    )
+    t_bat, bat = _best_of(
+        2, run_batch, cells,
+        executor=SerialExecutor(), group_cells=True, batch_realise=True,
+    )
+    for p, b in zip(per.outcomes, bat.outcomes):
+        assert b.measured == p.measured and b.bound == p.bound
+        assert b.events == p.events and b.sound == p.sound
+    return (t_per, per), (t_bat, bat)
+
+
+def test_realisation_bound_campaign_batched_speedup(
+    bench_pr9, artifact_report
+):
+    cells = _realisation_bound_matrix()
+    (t_per, per), (t_bat, bat) = _batched_vs_percell(cells)
+    speedup = t_per / t_bat
+    share_per = _realise_share(per)
+    share_bat = _realise_share(bat)
+    bench_pr9["realisation_bound"] = {
+        "cells": len(cells),
+        "flows_per_cell": 12,
+        "percell_seconds": round(t_per, 3),
+        "percell_cells_per_sec": round(len(cells) / t_per, 1),
+        "percell_realise_share": round(share_per, 3),
+        "batched_seconds": round(t_bat, 3),
+        "batched_cells_per_sec": round(len(cells) / t_bat, 1),
+        "batched_realise_share": round(share_bat, 3),
+        "speedup_x": round(speedup, 2),
+    }
+    artifact_report.append(
+        "== Batched realisation: unshared-CBR realisation-bound campaign ==\n"
+        f"cells:          {len(cells)} (12 unshared CBR flows each)\n"
+        f"per-cell:       {len(cells) / t_per:.0f} cells/s "
+        f"({t_per:.2f}s, realise share {share_per:.0%})\n"
+        f"batch realise:  {len(cells) / t_bat:.0f} cells/s "
+        f"({t_bat:.2f}s, realise share {share_bat:.0%})\n"
+        f"speedup:        {speedup:.1f}x"
+    )
+    assert speedup >= BATCH_REALISE_FLOOR, (
+        f"batched realisation only {speedup:.2f}x over per-cell"
+    )
+    assert share_bat < share_per, (
+        f"realise share did not drop ({share_per:.3f} -> {share_bat:.3f})"
+    )
+
+
+def test_mixed_matrix_batched_never_regresses(bench_pr9, artifact_report):
+    """Batched realisation is default-on for grouped runs, so the
+    unfavourable case -- a generated matrix full of stochastic lanes
+    and fallback cells -- must stay at near-parity."""
+    cells = generate_scenarios(192, seed=23)
+    (t_per, _), (t_bat, _) = _batched_vs_percell(cells)
+    ratio = t_per / t_bat
+    bench_pr9["mixed_generated"] = {
+        "cells": len(cells),
+        "percell_cells_per_sec": round(len(cells) / t_per, 1),
+        "batched_cells_per_sec": round(len(cells) / t_bat, 1),
+        "batched_over_percell_x": round(ratio, 2),
+    }
+    artifact_report.append(
+        "== Batched realisation: mixed generated matrix ==\n"
+        f"cells:         {len(cells)} (stochastic lanes + fallback cells)\n"
+        f"per-cell:      {len(cells) / t_per:.0f} cells/s\n"
+        f"batch realise: {len(cells) / t_bat:.0f} cells/s ({ratio:.2f}x)"
+    )
+    assert ratio >= MIXED_PARITY_FLOOR, (
+        f"batched realisation regressed the mixed matrix to {ratio:.2f}x"
+    )

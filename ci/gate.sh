@@ -53,6 +53,27 @@ if ! cmp "$SOA_DIR/group-cells/summary.json" \
 fi
 echo "grouped gate: clean (grouped == per-cell, byte-identical summary)"
 
+# Batched vs per-cell realisation: same matrix through the grouped
+# evaluator with batch realisation on and off, byte-identical
+# summary.json required -- on both store backends (the PR 9 tentpole's
+# bit-identity contract, gated end to end).
+BATCH_DIR="$(mktemp -d)"
+for backend in jsonl sqlite; do
+  for variant in batch-realise no-batch-realise; do
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+      scenarios run \
+      --count 24 --seed 11 --no-corpus \
+      --group-cells --"$variant" \
+      --store "$backend:$BATCH_DIR/$backend-$variant" >/dev/null
+  done
+  if ! cmp "$BATCH_DIR/$backend-batch-realise/summary.json" \
+           "$BATCH_DIR/$backend-no-batch-realise/summary.json"; then
+    echo "batch-realise gate: FAILED ($backend summaries differ)" >&2
+    exit 1
+  fi
+done
+echo "batch-realise gate: clean (batched == per-cell realisation, both backends)"
+
 # Telemetry invisibility: collection is on by default, so the smoke
 # store above already carries telemetry; a --no-telemetry rerun of the
 # same matrix must produce a byte-identical summary.json, and both

@@ -258,6 +258,18 @@ def _scenarios_main(argv: list[str]) -> int:
         "serial in-process executor, per-cell on worker pools)",
     )
     p_run.add_argument(
+        "--batch-realise", dest="batch_realise", action="store_true",
+        default=None,
+        help="force batched cross-cell trace synthesis inside the "
+        "grouped evaluator (one flat pass realises every candidate "
+        "cell's traces; bit-identical outcomes, higher throughput)",
+    )
+    p_run.add_argument(
+        "--no-batch-realise", dest="batch_realise", action="store_false",
+        help="force per-cell trace realisation (default: batched "
+        "whenever the grouped evaluator has more than one candidate)",
+    )
+    p_run.add_argument(
         "--profile", action="store_true",
         help="print a per-backend cell-cost breakdown after the run "
         "(from the store when given, else from this run's cells)",
@@ -312,6 +324,13 @@ def _scenarios_main(argv: list[str]) -> int:
         "calibration, grouping efficiency",
     )
     p_report.add_argument("store", help="campaign store (path or URL)")
+    p_report.add_argument(
+        "baseline", nargs="?", default=None,
+        help="optional second store: print cross-campaign telemetry "
+        "deltas of STORE relative to BASELINE (per-cell phase-time "
+        "ratios, cost-model calibration drift) instead of the "
+        "single-store digest",
+    )
     p_report.add_argument(
         "--top", type=int, default=10, metavar="N",
         help="how many slowest cells to list (default 10)",
@@ -390,6 +409,68 @@ def _scenarios_main(argv: list[str]) -> int:
         if args.top < 1:
             parser.error("--top must be >= 1")
         records = _reference_store(args.store).load_telemetry()
+
+        def _ms_opt(seconds) -> str:
+            return (
+                f"{1e3 * float(seconds):.2f}"
+                if isinstance(seconds, (int, float))
+                else "-"
+            )
+
+        if args.baseline:
+            base_records = _reference_store(args.baseline).load_telemetry()
+            print(
+                f"== Cross-campaign telemetry diff "
+                f"({args.store} vs {args.baseline}) =="
+            )
+            missing = [
+                name
+                for name, recs in (
+                    (args.store, records),
+                    (args.baseline, base_records),
+                )
+                if not recs
+            ]
+            if missing:
+                print(
+                    "no telemetry records in: " + ", ".join(missing)
+                    + " (run a campaign without --no-telemetry first)"
+                )
+                return 1
+            delta = tele.report_delta(base_records, records)
+            rows = [
+                [
+                    r["backend"], r["phase"],
+                    _ms_opt(r.get("base_per_cell")),
+                    _ms_opt(r.get("cand_per_cell")),
+                    f"{r['ratio']:.2f}x" if "ratio" in r else "-",
+                ]
+                for r in delta["phases"]
+            ]
+            print(render_table(
+                ["backend", "phase", "base [ms/cell]", "cand [ms/cell]",
+                 "ratio"],
+                rows, title="== Phase time per cell (cand vs base) ==",
+            ))
+            rows = [
+                [
+                    r["backend"],
+                    f"{r['base_median_ratio']:.2f}"
+                    if r.get("base_median_ratio") is not None else "-",
+                    f"{r['cand_median_ratio']:.2f}"
+                    if r.get("cand_median_ratio") is not None else "-",
+                    f"{r['drift']:+.2f}" if "drift" in r else "-",
+                ]
+                for r in delta["calibration"]
+            ]
+            if rows:
+                print(render_table(
+                    ["backend", "base actual/pred", "cand actual/pred",
+                     "drift"],
+                    rows, title="== Cost-model calibration drift ==",
+                ))
+            return 0
+
         print(f"== Campaign telemetry report ({args.store}) ==")
         if not records:
             print(
@@ -526,6 +607,20 @@ def _scenarios_main(argv: list[str]) -> int:
                         f"source cache: {hits} hits / {misses} misses "
                         f"({100.0 * hits / max(hits + misses, 1):.0f}% hit rate)"
                     )
+                if s.get("batch_realise"):
+                    line = (
+                        f"batch realise: {s.get('batch_realised_cells', 0)} "
+                        f"cells, {s.get('batch_lanes_generated', 0)} lanes "
+                        f"in {_ms_opt(s.get('batch_realise_s', 0.0))} ms"
+                    )
+                    if isinstance(
+                        s.get("predicted_realise_s"), (int, float)
+                    ):
+                        line += (
+                            f" (cost model predicted "
+                            f"{_ms_opt(s['predicted_realise_s'])} ms)"
+                        )
+                    print(line)
 
         for fit in tele.fit_rows(records):
             print(
@@ -717,6 +812,7 @@ def _scenarios_main(argv: list[str]) -> int:
             progress=progress,
             cost_model=None if args.no_cost_model else "auto",
             group_cells=args.group_cells,
+            batch_realise=args.batch_realise,
             retry=retry,
             cell_timeout=args.cell_timeout,
             fault_plan=fault_plan,

@@ -313,6 +313,7 @@ def run_campaign(
     tick: Optional[callable] = None,
     cost_model: Union[str, None, "CellCostModel"] = "auto",
     group_cells: Optional[bool] = None,
+    batch_realise: Optional[bool] = None,
     retry: Optional[RetryPolicy] = None,
     cell_timeout: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
@@ -350,6 +351,9 @@ def run_campaign(
     automatically on in-process executors, ``True``/``False`` force it
     on/off.  Throughput-only -- outcomes and store records are
     bit-identical either way (``wall_time`` attribution aside).
+    ``batch_realise`` rides along the same way: ``None`` (the default)
+    lets grouped evaluation batch trace synthesis across cells,
+    ``True``/``False`` force it; bit-identical in every case.
 
     ``retry``/``cell_timeout``/``fault_plan`` are the fault-tolerance
     knobs (all off by default with zero overhead): bounded per-cell
@@ -415,6 +419,7 @@ def run_campaign(
             tick=tick,
             cost_model=model,
             group_cells=group_cells,
+            batch_realise=batch_realise,
             retry=retry,
             cell_timeout=cell_timeout,
             fault_plan=fault_plan,

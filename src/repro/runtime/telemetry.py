@@ -86,6 +86,7 @@ __all__ = [
     "calibration_rows",
     "grouping_rows",
     "fit_rows",
+    "report_delta",
     "chrome_trace_events",
     "write_chrome_trace",
 ]
@@ -372,6 +373,80 @@ def fit_rows(records: Iterable[Mapping]) -> list[dict]:
         for r in records
         if isinstance(r, Mapping) and r.get("kind") == "fit"
     ]
+
+
+def report_delta(
+    base_records: Iterable[Mapping], cand_records: Iterable[Mapping]
+) -> dict:
+    """Cross-campaign telemetry deltas (``scenarios report A B``).
+
+    The observability twin of ``scenarios diff``: where that compares
+    verdicts, this compares *where the time went* between two stores.
+    Returns ``{"phases": [...], "calibration": [...]}``:
+
+    ``phases``
+        One row per ``(backend, phase)`` seen in either store, with
+        per-cell phase seconds on both sides (totals are normalised by
+        cell count, so campaigns of different sizes compare fairly) and
+        ``ratio = cand_per_cell / base_per_cell`` when both sides have
+        data -- a realise-phase ratio of 0.25 means trace synthesis got
+        4x faster per cell.
+
+    ``calibration``
+        One row per backend with the cost model's ``median_ratio``
+        (actual/predicted) on both sides and the drift between them --
+        a calibration trend across campaigns.
+    """
+    base_records = list(base_records)
+    cand_records = list(cand_records)
+    base_b = {r["backend"]: r for r in phase_breakdown(base_records)}
+    cand_b = {r["backend"]: r for r in phase_breakdown(cand_records)}
+    phases: list[dict] = []
+    for backend in sorted(set(base_b) | set(cand_b)):
+        b = base_b.get(backend, {})
+        c = cand_b.get(backend, {})
+        names = sorted(set(b.get("phases", {})) | set(c.get("phases", {})))
+        for name in names:
+            b_cells = int(b.get("cells", 0))
+            c_cells = int(c.get("cells", 0))
+            b_total = float(b.get("phases", {}).get(name, 0.0))
+            c_total = float(c.get("phases", {}).get(name, 0.0))
+            row: dict = {
+                "backend": backend,
+                "phase": name,
+                "base_cells": b_cells,
+                "cand_cells": c_cells,
+                "base_total": b_total,
+                "cand_total": c_total,
+                "base_per_cell": b_total / b_cells if b_cells else None,
+                "cand_per_cell": c_total / c_cells if c_cells else None,
+            }
+            if row["base_per_cell"] and row["cand_per_cell"] is not None:
+                row["ratio"] = row["cand_per_cell"] / row["base_per_cell"]
+            phases.append(row)
+    base_c = {
+        r["backend"]: r
+        for r in calibration_rows(base_records)
+        if "median_ratio" in r
+    }
+    cand_c = {
+        r["backend"]: r
+        for r in calibration_rows(cand_records)
+        if "median_ratio" in r
+    }
+    calibration: list[dict] = []
+    for backend in sorted(set(base_c) | set(cand_c)):
+        b = base_c.get(backend)
+        c = cand_c.get(backend)
+        row = {
+            "backend": backend,
+            "base_median_ratio": b["median_ratio"] if b else None,
+            "cand_median_ratio": c["median_ratio"] if c else None,
+        }
+        if b and c:
+            row["drift"] = c["median_ratio"] - b["median_ratio"]
+        calibration.append(row)
+    return {"phases": phases, "calibration": calibration}
 
 
 # ----------------------------------------------------------------------

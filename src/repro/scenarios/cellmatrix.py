@@ -59,6 +59,7 @@ from repro.scenarios.runner import (
     evaluate_cell,
 )
 from repro.scenarios.spec import Scenario
+from repro.scenarios.tracebatch import _empirical_sigma_fast, realise_batch
 from repro.simulation.batched import PRIMED_MODES, primed_adversarial_worst
 from repro.simulation.fluid import (
     _adversarial_worst_arrays,
@@ -95,33 +96,6 @@ MAX_PACK_WIDTH_RATIO = 1.3
 # ----------------------------------------------------------------------
 # Lean realisation
 # ----------------------------------------------------------------------
-def _empirical_sigma_fast(
-    times: np.ndarray, sizes: np.ndarray, rho: float
-) -> float:
-    """``PacketTrace.empirical_sigma`` without building the curve.
-
-    Restates ``PiecewiseLinearCurve.from_packet_arrivals(t, s)
-    .min_sigma(rho)`` on flat arrays.  Bit-identical: the staircase
-    interleaves a pre-jump and post-jump value at every unique time;
-    ``g_post[i] >= g_pre[i]`` and ``g_pre[i+1] <= g_post[i]`` make the
-    interleaved running minimum equal the running minimum over the
-    pre-jump values alone, and the supremum is attained at post-jump
-    positions -- float min/max select existing values, so dropping the
-    dominated positions changes no bits.
-    """
-    if times.shape[0] == 0:
-        return 0.0
-    uniq_t, inverse = np.unique(times, return_inverse=True)
-    jump = np.zeros(uniq_t.shape[0], dtype=np.float64)
-    np.add.at(jump, inverse, sizes)
-    cum = np.cumsum(jump)
-    ramp = rho * uniq_t
-    g_pre = np.concatenate(([0.0], cum[:-1])) - ramp
-    g_post = cum - ramp
-    run_min = np.minimum.accumulate(g_pre)
-    return float(max((g_post - run_min).max(), 0.0))
-
-
 def _lean_realise(
     sc: Scenario, fragment_cache: dict, source_cache: dict
 ) -> _Realised:
@@ -568,6 +542,8 @@ def evaluate_grouped(
     *,
     tick: Optional[callable] = None,
     stats: Optional[dict] = None,
+    batch_realise: Optional[bool] = None,
+    cost_model=None,
 ) -> list[TaskResult]:
     """Evaluate a matrix with SoA grouping; per-scenario task results.
 
@@ -576,13 +552,32 @@ def evaluate_grouped(
     captured per cell, bit-identical values.  ``tick(done, total)`` is
     called as cells complete (grouped cells complete per group).
 
+    ``batch_realise`` selects how candidate cells are realised:
+    ``True`` synthesises the whole batch's traces/envelopes in flat
+    passes (:func:`repro.scenarios.tracebatch.realise_batch`),
+    ``False`` realises per cell (:func:`_lean_realise`), and ``None``
+    (the default) batches whenever more than one candidate exists.
+    Throughput-only either way -- the batch realiser replays the
+    per-cell float sequence exactly, and any cell it cannot realise
+    drops to the per-cell path (then to :func:`evaluate_cell`), so
+    results are bit-identical.
+
+    ``cost_model`` (optional,
+    :class:`repro.runtime.cost.CellCostModel`) prices the batch's
+    realisation cost per group (``estimate_realise``); the prediction
+    lands in the grouping summary record next to the measured batch
+    seconds, so realisation-cost calibration is observable in
+    ``scenarios report``.
+
     ``stats`` (optional, a mutable mapping) receives
     ``stats["records"]``: one mapping per evaluated group
     (``kind == "grouping"``: cells, kernel seconds, lane packing and
     padding waste) plus one ``kind == "grouping_summary"`` mapping
     (grouped vs. fallback cell counts, per-reason fallback tallies, the
-    realisation source-cache hit rate) -- the "no silent caps" ledger
-    of the grouped path.
+    realisation source-cache hit rate, and the batch-realisation tally:
+    cells realised batched, lanes generated, batch seconds vs. the cost
+    model's prediction) -- the "no silent caps" ledger of the grouped
+    path.
     """
     scenarios = list(scenarios)
     n = len(scenarios)
@@ -600,31 +595,79 @@ def evaluate_grouped(
         if tick is not None:
             tick(done, n)
 
+    candidates: list[int] = []
     for i, sc in enumerate(scenarios):
         # Spec-level short-circuit: group_key() rejects these whatever
-        # the realisation says, so skip the lean realisation entirely.
+        # the realisation says, so skip the realisation entirely.
         if sc.topology != "host":
             fallback.append((i, f"topology:{sc.topology}"))
             continue
         if sc.discipline != "adversarial":
             fallback.append((i, f"discipline:{sc.discipline}"))
             continue
+        candidates.append(i)
+
+    if batch_realise is None:
+        batch_realise = len(candidates) > 1
+
+    realised: dict[int, _Realised] = {}
+    batch_s = batch_share = 0.0
+    batch_info: dict = {}
+    predicted_realise_s = None
+    if batch_realise and candidates:
+        specs = [scenarios[i] for i in candidates]
+        if cost_model is not None and hasattr(cost_model, "estimate_realise"):
+            try:
+                predicted_realise_s = float(
+                    cost_model.estimate_realise(specs, grouped=True)
+                )
+            except Exception:
+                predicted_realise_s = None
+        t0 = time.perf_counter()
+        try:
+            batch_results, batch_info = realise_batch(
+                specs, fragment_cache, source_cache
+            )
+        except Exception:
+            batch_results = [None] * len(specs)
+        batch_s = time.perf_counter() - t0
+        for i, r in zip(candidates, batch_results):
+            if r is not None:
+                realised[i] = r
+        src_hits += batch_info.get("source_cache_hits", 0)
+        src_misses += batch_info.get("source_cache_misses", 0)
+        # The batch pass ran cells batch-wise: amortise its wall time
+        # evenly over the cells it realised (the same attribution rule
+        # as the group kernels below).
+        batch_share = batch_s / max(len(realised), 1)
+
+    for i in candidates:
+        sc = scenarios[i]
         tel = begin_cell(sc.name)
         t0 = time.perf_counter()
         key = None
-        r = None
+        r = realised.get(i)
+        from_batch = r is not None
         try:
-            cached = len(source_cache)
-            with span("realise"):
-                r = _lean_realise(sc, fragment_cache, source_cache)
-            if len(source_cache) == cached:
-                src_hits += 1
-            else:
-                src_misses += 1
+            if r is None:
+                cached = len(source_cache)
+                with span("realise"):
+                    r = _lean_realise(sc, fragment_cache, source_cache)
+                if len(source_cache) == cached:
+                    src_hits += 1
+                else:
+                    src_misses += 1
+            elif tel is not None:
+                # Batch-realised before this cell's telemetry began:
+                # credit the amortised share so the report's phase
+                # breakdown still accounts for realisation honestly.
+                tel.add_phase("realise", batch_share, offset=0.0)
             key = group_key(r)
         except Exception:
             key = None
         prep = time.perf_counter() - t0
+        if from_batch:
+            prep += batch_share
         end_cell(tel)
         if key is None:
             # The fallback re-runs evaluate_cell with fresh telemetry,
@@ -695,17 +738,24 @@ def evaluate_grouped(
                 )
         records.append(rec)
 
-    records.append(
-        {
-            "kind": "grouping_summary",
-            "cells": n,
-            "grouped_cells": grouped_cells,
-            "fallback_cells": n - grouped_cells,
-            "fallback_reasons": dict(sorted(reasons.items())),
-            "source_cache_hits": src_hits,
-            "source_cache_misses": src_misses,
-        }
-    )
+    summary = {
+        "kind": "grouping_summary",
+        "cells": n,
+        "grouped_cells": grouped_cells,
+        "fallback_cells": n - grouped_cells,
+        "fallback_reasons": dict(sorted(reasons.items())),
+        "source_cache_hits": src_hits,
+        "source_cache_misses": src_misses,
+        "batch_realise": bool(batch_realise),
+        "batch_realised_cells": len(realised),
+        "batch_realise_s": batch_s,
+    }
+    if batch_info:
+        summary["batch_lanes_generated"] = batch_info.get("lanes_generated", 0)
+        summary["batch_sigma_lanes"] = batch_info.get("sigma_lanes", 0)
+    if predicted_realise_s is not None:
+        summary["predicted_realise_s"] = predicted_realise_s
+    records.append(summary)
     if stats is not None:
         stats["records"] = records
     return results

@@ -598,6 +598,8 @@ def evaluate_cells_grouped(
     *,
     tick: Optional[callable] = None,
     stats: Optional[dict] = None,
+    batch_realise: Optional[bool] = None,
+    cost_model=None,
 ) -> list[TaskResult]:
     """Evaluate a matrix with structure-of-arrays cell grouping.
 
@@ -608,6 +610,13 @@ def evaluate_cells_grouped(
     back to :func:`evaluate_cell` semantics individually, so results
     (including error strings) are bit-identical to the per-cell path.
 
+    ``batch_realise`` selects batched cross-cell trace synthesis
+    (:mod:`repro.scenarios.tracebatch`) for the candidate cells:
+    ``None`` (default) batches whenever more than one candidate exists,
+    ``True``/``False`` force it.  Throughput-only; bit-identical either
+    way.  ``cost_model`` (optional) prices the batch realisation so the
+    grouping summary can compare prediction with measurement.
+
     Returns one :class:`~repro.runtime.executor.TaskResult` per
     scenario, in input order, exactly like
     ``SerialExecutor.map_tasks(evaluate_cell, scenarios)``.  ``stats``
@@ -617,7 +626,13 @@ def evaluate_cells_grouped(
     """
     from repro.scenarios.cellmatrix import evaluate_grouped
 
-    return evaluate_grouped(scenarios, tick=tick, stats=stats)
+    return evaluate_grouped(
+        scenarios,
+        tick=tick,
+        stats=stats,
+        batch_realise=batch_realise,
+        cost_model=cost_model,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -667,9 +682,21 @@ def finalise_batch(
     t_bounds = time.perf_counter()
     if ok:
         cells: list[CellResult] = [tasks[i].value for i in ok]
+        # Envelopes are frozen value records, and parameter sweeps
+        # repeat (sigma, rho) points across many cells: build each
+        # distinct envelope once for the whole batch.
+        env_cache: dict[tuple[float, float], ArrivalEnvelope] = {}
+
+        def _env(s: float, r: float) -> ArrivalEnvelope:
+            e = env_cache.get((s, r))
+            if e is None:
+                e = ArrivalEnvelope(s, r)
+                env_cache[(s, r)] = e
+            return e
+
         ok_bounds, ok_baselines = batch_bounds(
             [
-                [ArrivalEnvelope(s, r) for s, r in zip(c.sigmas, c.rhos)]
+                [_env(s, r) for s, r in zip(c.sigmas, c.rhos)]
                 for c in cells
             ],
             [c.eff_mode for c in cells],
@@ -739,6 +766,7 @@ def run_batch(
     tick: Optional[callable] = None,
     cost_model=None,
     group_cells: Optional[bool] = None,
+    batch_realise: Optional[bool] = None,
     retry: Optional[RetryPolicy] = None,
     cell_timeout: Optional[float] = None,
     fault_plan: Optional[faults.FaultPlan] = None,
@@ -770,6 +798,12 @@ def run_batch(
     grouped evaluation estimates by amortising each group kernel over
     its cells).
 
+    ``batch_realise`` is forwarded to the grouped evaluator: ``None``
+    (default) lets it batch trace synthesis across cells whenever more
+    than one grouping candidate exists, ``True``/``False`` force it.
+    Like grouping itself it is throughput-only and bit-identical; it
+    has no effect when ``group_cells`` resolves to ``False``.
+
     ``retry``/``cell_timeout`` opt into the executor's fault-tolerant
     path (see :class:`repro.runtime.executor.RetryPolicy`); grouped
     evaluation runs in-process, so there they apply as a serial
@@ -799,7 +833,13 @@ def run_batch(
     )
     if group_cells:
         stats: dict = {}
-        tasks = evaluate_cells_grouped(scenarios, tick=tick, stats=stats)
+        tasks = evaluate_cells_grouped(
+            scenarios,
+            tick=tick,
+            stats=stats,
+            batch_realise=batch_realise,
+            cost_model=cost_model,
+        )
         if retry is not None and retry.max_attempts > 1:
             # Grouped evaluation already spent attempt 1 of any cell
             # that errored; give it the rest of its budget per-cell.

@@ -29,6 +29,7 @@ from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = [
     "PacketTrace",
+    "trace_from_arrays",
     "TrafficSource",
     "CBRSource",
     "PoissonSource",
@@ -138,6 +139,54 @@ class PacketTrace:
         return PacketTrace(times, sizes)
 
 
+def trace_from_arrays(times: np.ndarray, sizes: np.ndarray) -> PacketTrace:
+    """Construct a :class:`PacketTrace` from kernel-produced arrays.
+
+    Skips ``__post_init__`` validation: the batch realisation kernels
+    produce float64 arrays that are sorted and positive by construction
+    (they restate the scalar generators float op for float op), so the
+    O(n) re-validation per lane is pure overhead on the campaign hot
+    path.  Only for arrays a generator kernel just built -- anything
+    that crosses an API boundary goes through ``PacketTrace(...)``.
+    """
+    tr = object.__new__(PacketTrace)
+    object.__setattr__(tr, "times", times)
+    object.__setattr__(tr, "sizes", sizes)
+    return tr
+
+
+def _bursts_arange(
+    starts: np.ndarray, stops: np.ndarray, step: float
+) -> np.ndarray:
+    """Concatenated ``np.arange(start, stop, step)`` over pair arrays.
+
+    Replicates numpy's float-arange semantics bit for bit so the
+    vectorised on/off generator matches the per-burst loop it replaced:
+    the element count is ``ceil((stop - start) / step)`` in double
+    precision, the first two elements are ``start`` and ``start + step``
+    exactly, and elements from index 2 on extrapolate as
+    ``start + i * delta`` with ``delta = (start + step) - start`` --
+    the buffer-fill rule of ``np.arange``, whose ``delta`` differs from
+    ``step`` in the last bit whenever ``start + step`` rounds.
+    """
+    counts_f = np.ceil((stops - starts) / step)
+    counts = np.where(counts_f > 0, counts_f, 0.0).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.float64)
+    rep_start = np.repeat(starts, counts)
+    bases = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    j = np.arange(total, dtype=np.int64) - np.repeat(bases, counts)
+    delta = (starts + step) - starts
+    times = rep_start + j.astype(np.float64) * np.repeat(delta, counts)
+    # arange writes the first two elements directly; only i >= 2 use
+    # the extrapolation rule, so pin j == 1 to start + step (j == 0 is
+    # exact already: start + 0.0 * delta == start).
+    second = j == 1
+    times[second] = rep_start[second] + step
+    return times
+
+
 class TrafficSource:
     """Base class of all traffic generators.
 
@@ -207,12 +256,24 @@ class CBRSource(TrafficSource):
         self.packet_size = check_positive(packet_size, "packet_size")
         self.phase = check_non_negative(phase, "phase")
 
-    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
-        check_positive(horizon, "horizon")
+    def time_grid(self, horizon: float) -> np.ndarray:
+        """The deterministic emission grid (no RNG consumed).
+
+        Array entry point for the batch realiser: the grid depends only
+        on ``(phase, interval, horizon)``, so cells sharing those share
+        one array instead of re-running ``arange`` per cell.
+        """
         interval = self.packet_size / self.rate
         times = np.arange(self.phase, horizon, interval, dtype=np.float64)
-        times = times[times < horizon]  # guard float edge at the stop value
-        return PacketTrace(times, np.full(times.shape, self.packet_size))
+        return times[times < horizon]  # guard float edge at the stop value
+
+    def trace_on_grid(self, times: np.ndarray) -> PacketTrace:
+        """The trace over a precomputed :meth:`time_grid` array."""
+        return trace_from_arrays(times, np.full(times.shape, self.packet_size))
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        return self.trace_on_grid(self.time_grid(horizon))
 
     def scaled_to(self, rate: float) -> "CBRSource":
         return CBRSource(rate, self.packet_size * rate / self.rate, self.phase)
@@ -268,22 +329,42 @@ class OnOffSource(TrafficSource):
         self.packet_size = check_positive(packet_size, "packet_size")
 
     def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        """Vectorised on/off realisation, bit-identical to the scalar loop.
+
+        The replaced per-period Python loop drew ``exponential(mean_on)``
+        / ``exponential(mean_off)`` alternately and ran one ``arange``
+        per burst.  This pre-draws the same alternating stream as one
+        ``standard_exponential`` block (``Generator.exponential(scale)``
+        is ``scale * standard_exponential()``, so the even/odd split
+        times the means reproduces every draw exactly), rebuilds the
+        period starts with a cumsum (the same left-to-right float
+        accumulation as ``t += on + off``) and synthesises all bursts in
+        one :func:`_bursts_arange` pass.  The trace is bit-identical;
+        the generator may be advanced *further* than the loop consumed
+        (whole pre-drawn blocks), which is invisible to the pipeline --
+        every call site seeds a fresh per-trace generator.
+        """
         check_positive(horizon, "horizon")
         gen = ensure_rng(rng)
-        times_parts: list[np.ndarray] = []
         gap = self.packet_size / self.peak_rate
-        t = 0.0
-        while t < horizon:
-            on = gen.exponential(self.mean_on)
-            burst = np.arange(t, min(t + on, horizon), gap)
-            if burst.size:
-                times_parts.append(burst)
-            t += on + gen.exponential(self.mean_off)
-        if times_parts:
-            times = np.concatenate(times_parts)
-        else:
-            times = np.empty(0, dtype=np.float64)
-        return PacketTrace(times, np.full(times.shape, self.packet_size))
+        mean_period = self.mean_on + self.mean_off
+        n_est = max(int(horizon / mean_period * 1.5) + 16, 16)
+        raw = gen.standard_exponential(2 * n_est)
+        on = raw[0::2] * self.mean_on
+        off = raw[1::2] * self.mean_off
+        cum = np.cumsum(on + off)
+        while cum[-1] < horizon:
+            raw = gen.standard_exponential(2 * n_est)
+            on = np.concatenate([on, raw[0::2] * self.mean_on])
+            off = np.concatenate([off, raw[1::2] * self.mean_off])
+            cum = np.cumsum(on + off)
+        # Period m is the first whose cumulative end reaches the
+        # horizon: the loop ran iterations 0..m (starts all < horizon).
+        m = int(np.searchsorted(cum, horizon, side="left"))
+        starts = np.concatenate(([0.0], cum[:m]))
+        stops = np.minimum(starts + on[: m + 1], horizon)
+        times = _bursts_arange(starts, stops, gap)
+        return trace_from_arrays(times, np.full(times.shape, self.packet_size))
 
     def scaled_to(self, rate: float) -> "OnOffSource":
         factor = rate / self.rate
@@ -323,11 +404,25 @@ class AudioSource(TrafficSource):
         self.frame_interval = check_positive(frame_interval, "frame_interval")
         self.variability = check_non_negative(variability, "variability")
 
-    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
-        check_positive(horizon, "horizon")
-        gen = ensure_rng(rng)
+    def time_grid(self, horizon: float) -> np.ndarray:
+        """The deterministic frame grid (no RNG consumed).
+
+        Array entry point for the batch realiser: one shared array per
+        ``(frame_interval, horizon)`` serves every audio lane; only the
+        size draws stay per-lane.
+        """
         times = np.arange(0.0, horizon, self.frame_interval, dtype=np.float64)
-        times = times[times < horizon]  # guard float edge at the stop value
+        return times[times < horizon]  # guard float edge at the stop value
+
+    def trace_on_grid(
+        self, times: np.ndarray, rng: RandomSource = None
+    ) -> PacketTrace:
+        """The trace over a precomputed :meth:`time_grid` array.
+
+        Consumes exactly the RNG draws of :meth:`generate` (the frame
+        grid itself is deterministic).
+        """
+        gen = ensure_rng(rng)
         mean_size = self.rate * self.frame_interval
         if self.variability > 0:
             # Lognormal with unit mean so the sustained rate is preserved.
@@ -335,7 +430,11 @@ class AudioSource(TrafficSource):
             mult = gen.lognormal(mean=-0.5 * sig * sig, sigma=sig, size=times.shape)
         else:
             mult = np.ones(times.shape)
-        return PacketTrace(times, mean_size * mult)
+        return trace_from_arrays(times, mean_size * mult)
+
+    def generate(self, horizon: float, rng: RandomSource = None) -> PacketTrace:
+        check_positive(horizon, "horizon")
+        return self.trace_on_grid(self.time_grid(horizon), rng)
 
     def scaled_to(self, rate: float) -> "AudioSource":
         return AudioSource(rate, self.frame_interval, self.variability)

@@ -17,8 +17,12 @@ into each host's MUX as a zero-event background train
 (:meth:`repro.simulation.batched.BatchMuxServer.prime_background`),
 and replication commits **one fanout event per MUX busy period per
 child** -- the released busy period travels as one packet batch --
-instead of one event per packet per child.  Only the tagged flow's
-root injection remains per-packet.
+instead of one event per packet per child.  The tagged flow's root
+pipeline is closed form too (:func:`_primed_root_release`): its
+regulator departures and the root MUX's busy periods are computed as
+one array pass, and the root replicator sees exactly one
+``receive_batch`` event per busy period -- the whole primed tree is
+busy-period bound, with no per-packet event surface left anywhere.
 """
 
 from __future__ import annotations
@@ -29,10 +33,21 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.calculus.envelope import ArrivalEnvelope
+from repro.core.adaptive import AdaptiveController
 from repro.overlay.tree import MulticastTree
+from repro.simulation.batched import (
+    _adversarial_mux_deliveries,
+    sigma_rho_departures,
+    vacation_departures,
+)
 from repro.simulation.engine import Simulator
 from repro.simulation.flow import PacketTrace
-from repro.simulation.host_sim import MODES, build_regulated_host, inject_trace
+from repro.simulation.host_sim import (
+    MODES,
+    build_regulated_host,
+    inject_trace,
+    resolve_mode,
+)
 from repro.simulation.measures import DelayStats
 from repro.simulation.packet import Packet
 
@@ -107,6 +122,107 @@ class _Replicator:
         sim = self.sim
         for child, entry, latency in self.children_entries:
             sim.schedule_in(latency, entry.receive_batch, packets)
+
+
+def _primed_root_release(
+    sim: Simulator,
+    tagged: PacketTrace,
+    cross: Sequence[PacketTrace],
+    env_order: Sequence[ArrivalEnvelope],
+    replicator: "_Replicator",
+    *,
+    mode: str,
+    capacity: float,
+    stagger_phase: float,
+) -> None:
+    """Schedule the root replicator's busy-period releases closed form.
+
+    The root host is a fully-known adversarial host: the tagged flow's
+    arrivals and all K-1 cross traces are available up front, so its
+    whole pipeline -- tagged regulator, MUX busy periods, hold-and-
+    release -- collapses into the same array pass
+    :func:`repro.simulation.batched.primed_adversarial_host` runs for
+    single-host cells.  The only thing the event loop still has to do
+    is fan released batches out to the children, so this schedules
+    exactly one ``receive_batch`` event per MUX busy period that
+    contains tagged packets (``priority=-1``, the release check's slot
+    in the evented event order) and nothing else: the last per-packet
+    surface of the primed tree is gone.
+
+    Bit-identity is by construction: the regulator kernels replay the
+    evented components' float sequence, the background fold and the
+    ``busy_until`` recurrence are the proven MUX arithmetic (cross
+    flows in sorted flow order precede equal-time tagged arrivals,
+    exactly the injection-order tie-break), and each release fires at
+    the busy period's end with the packets the evented MUX would hold.
+    """
+    eff = resolve_mode(mode, env_order, capacity)
+    if eff == "sigma-rho-lambda":
+        plan = AdaptiveController(env_order, capacity).build_stagger_plan()
+        base = (stagger_phase % 1.0) * plan.period
+
+    def _departures(f: int, tr: PacketTrace) -> np.ndarray:
+        if eff == "sigma-rho":
+            e = env_order[f]
+            deps, _ = sigma_rho_departures(
+                tr.times, tr.sizes, e.sigma, e.rho / capacity
+            )
+        elif eff == "sigma-rho-lambda":
+            deps, _ = vacation_departures(
+                tr.times, tr.sizes, plan.regulators[f],
+                offset=base + plan.offsets[f], out_rate=capacity,
+            )
+        else:  # none: arrivals feed the MUX directly
+            deps = np.asarray(tr.times, dtype=np.float64)
+        return np.asarray(deps, dtype=np.float64)
+
+    # The cross background train, rebuilt with the builder's arithmetic
+    # (sorted flow order, stable time sort): it must interleave with
+    # the tagged departures exactly like the train primed into the
+    # root's MUX.
+    bg_t_parts = [_departures(f, tr) for f, tr in enumerate(cross, start=1)]
+    bg_s_parts = [np.asarray(tr.sizes, dtype=np.float64) for tr in cross]
+    bg_t = np.concatenate(bg_t_parts) if bg_t_parts else np.empty(0)
+    bg_s = np.concatenate(bg_s_parts) if bg_s_parts else np.empty(0)
+    bg_order = np.argsort(bg_t, kind="stable")
+    bg_t = bg_t[bg_order]
+    bg_s = bg_s[bg_order]
+
+    tagged_deps = _departures(0, tagged)
+    # Stable merge: background arrivals precede equal-time tagged ones
+    # (background events carry earlier sequence numbers in the evented
+    # order), tagged departures keep emission order.
+    arr = np.concatenate([bg_t, tagged_deps])
+    sizes = np.concatenate([bg_s, np.asarray(tagged.sizes, dtype=np.float64)])
+    is_tagged = np.zeros(arr.size, dtype=bool)
+    is_tagged[bg_t.size:] = True
+    order = np.argsort(arr, kind="stable")
+    arr = arr[order]
+    tx = sizes[order] / capacity
+    is_tagged = is_tagged[order]
+    delivery, _ = _adversarial_mux_deliveries(arr, tx)
+
+    t_del = delivery[is_tagged]
+    if t_del.size == 0:
+        return
+    # Consecutive equal delivery instants = one busy period (ends are
+    # strictly increasing across periods): one release batch each.
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(t_del) > 0) + 1))
+    ends = np.concatenate((starts[1:], [t_del.size]))
+    # The evented root counts one busy period per release check, i.e.
+    # per tagged-containing period; background-only periods fold
+    # uncounted there too.
+    sim.busy_periods += int(starts.size)
+    packets = [
+        Packet(flow_id=0, size=float(s), t_emit=float(t))
+        for t, s in zip(tagged.times, tagged.sizes)
+    ]
+    sim.schedule_batch(
+        t_del[starts],
+        replicator.receive_batch,
+        ((packets[a:b],) for a, b in zip(starts, ends)),
+        priority=-1,
+    )
 
 
 def simulate_multicast_tree(
@@ -202,6 +318,7 @@ def simulate_multicast_tree(
     primed_map = (
         {f: tr for f, tr in enumerate(cross, start=1)} if primed else None
     )
+    root_replicator: Optional[_Replicator] = None
     for host in order:
         child_entries = [
             (c, entries_by_host[c][0], float(latency[host, c]))
@@ -210,6 +327,8 @@ def simulate_multicast_tree(
         replicator = _Replicator(
             sim, host, group, child_entries, deliver, deliver_batch
         )
+        if host == tree.root:
+            root_replicator = replicator
         sink_map: dict[int, object] = {0: replicator}
         for f in range(1, k):
             sink_map[f] = _Drop()
@@ -232,12 +351,22 @@ def simulate_multicast_tree(
     # (fanout events always carry later sequence numbers than
     # injections), which is exactly the order the background fold
     # realises: all three engines agree on every tie.
-    if not primed:
+    tagged = traces[group].restrict(horizon)
+    if primed:
+        root_cap = capacity
+        if host_capacity is not None:
+            root_cap = float(host_capacity.get(tree.root, capacity))
+        assert root_replicator is not None
+        _primed_root_release(
+            sim, tagged, cross, env_order, root_replicator,
+            mode=mode, capacity=root_cap,
+            stagger_phase=(hash(tree.root) % 997) / 997.0,
+        )
+    else:
         for host in tree.members():
             for f, tr in enumerate(cross, start=1):
                 inject_trace(sim, tr, f, entries_by_host[host][f])
-    root_entry = entries_by_host[tree.root][0]
-    inject_trace(sim, traces[group].restrict(horizon), 0, root_entry)
+        inject_trace(sim, tagged, 0, entries_by_host[tree.root][0])
 
     sim.run()
     # Function-local import: keeps the simulation layer importable
