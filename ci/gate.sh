@@ -128,3 +128,32 @@ for backend in jsonl sqlite; do
   fi
 done
 echo "chaos gate: clean (fault-injected summaries byte-identical, both backends)"
+
+# -- coordinator chaos gate: leases never change results -------------------
+# The same 24-cell smoke through the lease-based coordinator: 2
+# workers, deterministic fault injection SIGKILLing workers mid-lease
+# (real kills -- `scenarios work` arms them).  Expired leases must be
+# stolen, split, and re-run until the store converges to a
+# summary.json byte-identical to the pinned baseline -- on both store
+# backends -- and `scenarios report` must render the lease ledger the
+# recovery left behind.
+COORD_DIR="$(mktemp -d)"
+for backend in jsonl sqlite; do
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+    scenarios run \
+    --count 24 --seed 11 --no-corpus \
+    --coordinator 2 --lease-ttl 5 \
+    --retries 3 --inject-faults 7:0.15 \
+    --store "$backend:$COORD_DIR/$backend" >/dev/null
+  if ! cmp "$COORD_DIR/$backend/summary.json" ci/baseline_smoke/summary.json; then
+    echo "coordinator gate: FAILED ($backend summary diverged under worker kills)" >&2
+    exit 1
+  fi
+done
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.experiments.cli \
+  scenarios report "sqlite:$COORD_DIR/sqlite" \
+  | grep "Lease ledger" >/dev/null || {
+  echo "coordinator gate: FAILED (scenarios report missing lease ledger)" >&2
+  exit 1
+}
+echo "coordinator gate: clean (worker-killing chaos byte-identical, both backends)"

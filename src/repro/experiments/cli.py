@@ -315,6 +315,62 @@ def _scenarios_main(argv: list[str]) -> int:
         "fingerprint); pair with --retries to prove recovery "
         "(the CI chaos gate runs 7:0.15 with --retries 3)",
     )
+    p_run.add_argument(
+        "--coordinator", type=int, default=None, metavar="N",
+        help="run the campaign through the lease-based work-stealing "
+        "coordinator with N local worker processes (requires --store; "
+        "workers claim cost-sized leases from the store, expired "
+        "leases are stolen, and summary.json stays byte-identical to "
+        "a serial run)",
+    )
+    p_run.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="coordinator lease time-to-live (default 30; keep it "
+        "above the slowest cell's full attempt budget -- workers "
+        "renew between cells, so a hung cell lapses its lease)",
+    )
+    p_work = sub.add_parser(
+        "work",
+        help="drain leases from a coordinated campaign store (the "
+        "worker half of 'run --coordinator'; runs until no open or "
+        "active lease remains)",
+    )
+    p_work.add_argument("store", help="campaign store (path or URL)")
+    p_work.add_argument(
+        "--worker-id", required=True, metavar="ID",
+        help="unique worker identity (lease ownership + heartbeats)",
+    )
+    p_work.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease time-to-live while this worker holds one "
+        "(default 30)",
+    )
+    p_work.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed cell up to N times (as in 'run')",
+    )
+    p_work.add_argument(
+        "--retry-seed", type=int, default=0, metavar="SEED",
+        help="backoff-jitter seed (timing only, never results)",
+    )
+    p_work.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock cap on a cell",
+    )
+    p_work.add_argument(
+        "--inject-faults", default=None, metavar="SEED:RATE",
+        help="arm the chaos harness in this worker; unlike 'run', "
+        "injected kills hard-exit the worker process (the "
+        "coordinator's reclaim path is the recovery story)",
+    )
+    p_work.add_argument(
+        "--max-leases", type=int, default=None, metavar="N",
+        help="stop after N leases (default: drain the store)",
+    )
+    p_work.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable telemetry collection in this worker",
+    )
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", default=None, help="filter by tag")
     p_report = sub.add_parser(
@@ -403,12 +459,75 @@ def _scenarios_main(argv: list[str]) -> int:
         except FileNotFoundError as exc:
             parser.error(str(exc))
 
+    if args.action == "work":
+        import os
+
+        from repro.runtime import RetryPolicy, faults, work_store
+        from repro.runtime.coordinator import DEFAULT_LEASE_TTL
+
+        if args.retries < 0:
+            parser.error("--retries must be >= 0")
+        if args.cell_timeout is not None and args.cell_timeout <= 0:
+            parser.error("--cell-timeout must be > 0 seconds")
+        if args.lease_ttl is not None and args.lease_ttl <= 0:
+            parser.error("--lease-ttl must be > 0 seconds")
+        if args.max_leases is not None and args.max_leases < 1:
+            parser.error("--max-leases must be >= 1")
+        retry = (
+            RetryPolicy(max_attempts=args.retries + 1, seed=args.retry_seed)
+            if args.retries
+            else None
+        )
+        fault_plan = None
+        if args.inject_faults:
+            from repro.runtime import FaultPlan
+
+            try:
+                fault_plan = FaultPlan.parse(args.inject_faults)
+            except ValueError as exc:
+                parser.error(str(exc))
+        elif os.environ.get("REPRO_FAULT_PLAN"):
+            # The coordinator ships its exact plan (custom kinds and
+            # attempt ceilings included) through the environment.
+            try:
+                fault_plan = faults.plan_from_dict(
+                    json.loads(os.environ["REPRO_FAULT_PLAN"])
+                )
+            except (ValueError, TypeError) as exc:
+                parser.error(f"bad REPRO_FAULT_PLAN: {exc}")
+        if fault_plan is not None:
+            # A lease worker's death is what the coordinator's reclaim
+            # path exists to absorb: injected kills must be real here.
+            faults.allow_kill(True)
+        if args.no_telemetry:
+            from repro.runtime import set_telemetry_enabled
+
+            set_telemetry_enabled(False)
+        report = work_store(
+            _reference_store(args.store),
+            args.worker_id,
+            lease_ttl=(
+                args.lease_ttl
+                if args.lease_ttl is not None
+                else DEFAULT_LEASE_TTL
+            ),
+            retry=retry,
+            cell_timeout=args.cell_timeout,
+            fault_plan=fault_plan,
+            max_leases=args.max_leases,
+        )
+        print("== Lease worker ==")
+        for line in report.summary_lines():
+            print(line)
+        return 0
+
     if args.action == "report":
         from repro.runtime import telemetry as tele
 
         if args.top < 1:
             parser.error("--top must be >= 1")
-        records = _reference_store(args.store).load_telemetry()
+        report_store = _reference_store(args.store)
+        records = report_store.load_telemetry()
 
         def _ms_opt(seconds) -> str:
             return (
@@ -471,8 +590,42 @@ def _scenarios_main(argv: list[str]) -> int:
                 ))
             return 0
 
+        def _poison_section() -> int:
+            """Render the store's poison channel; returns the count."""
+            poison = report_store.load_poison()
+            if not poison:
+                return 0
+            rows = [
+                [
+                    p.get("name") or p.get("key") or "?",
+                    p.get("attempts", "?"),
+                    p.get("worker") or "-",
+                    str(p.get("error_head") or "")[:80],
+                ]
+                for p in poison
+            ]
+            print(render_table(
+                ["cell", "attempts", "worker", "last error"],
+                rows, title="== Poison channel ==",
+            ))
+            return len(poison)
+
         print(f"== Campaign telemetry report ({args.store}) ==")
         if not records:
+            # A crashed or chaos-heavy campaign can leave a store with
+            # nothing but poison diagnoses or partial (error) records;
+            # the report must still say something useful, not
+            # traceback or pretend the store is fine.
+            n_poison = _poison_section()
+            n_partial = sum(
+                1 for r in report_store.load().values() if r.get("error")
+            )
+            if n_poison or n_partial:
+                print(
+                    f"no telemetry records; store holds {n_poison} poison "
+                    f"diagnoses and {n_partial} partial (error) records"
+                )
+                return 0
             print(
                 "no telemetry records (run a campaign against this store "
                 "without --no-telemetry first)"
@@ -554,6 +707,43 @@ def _scenarios_main(argv: list[str]) -> int:
                 f"{sr.get('busy_retries', 0)} sqlite-busy"
             )
 
+        lease_entries = tele.lease_rows(records)
+        lease_digest = tele.lease_summary(records)
+        if lease_entries or lease_digest:
+            rows = [
+                [
+                    entry.get("lease", "?"),
+                    entry.get("worker") or "?",
+                    entry.get("cells", 0),
+                    entry.get("deaths", 0),
+                    entry.get("steals", 0),
+                    "stolen" if entry.get("stolen") else "-",
+                    entry.get("disposition") or "done",
+                ]
+                for entry in lease_entries
+            ]
+            print(render_table(
+                ["lease", "worker", "cells", "deaths", "steals",
+                 "reclaimed", "disposition"],
+                rows, title="== Lease ledger ==",
+            ))
+            reclaimed = sum(1 for e in lease_entries if e.get("deaths"))
+            print(
+                f"leases run: {len(lease_entries)} "
+                f"({reclaimed} reclaimed after worker deaths)"
+            )
+            if lease_digest:
+                print(
+                    f"coordinator: {lease_digest.get('planned', 0)} leases "
+                    f"planned across {lease_digest.get('workers', 0)} "
+                    f"workers, {lease_digest.get('stolen', 0)} stolen "
+                    f"({lease_digest.get('worker_deaths', 0)} worker "
+                    f"deaths), {lease_digest.get('respawns', 0)} respawns, "
+                    f"{lease_digest.get('poison', 0)} poisoned"
+                )
+
+        _poison_section()
+
         calib = tele.calibration_rows(records)
         if calib:
             rows = [
@@ -632,10 +822,20 @@ def _scenarios_main(argv: list[str]) -> int:
         return 0
 
     if args.action == "diff":
-        diff = diff_stores(
-            _reference_store(args.old), _reference_store(args.new)
-        )
+        old_store = _reference_store(args.old)
+        new_store = _reference_store(args.new)
+        diff = diff_stores(old_store, new_store)
         print("== Campaign diff ==")
+        for label, side in ((args.old, old_store), (args.new, new_store)):
+            # A store can legitimately hold zero completed records (a
+            # campaign that crashed early, or poison diagnoses only);
+            # say so in one line rather than diffing silence.
+            if not side.load():
+                n_poison = len(side.load_poison())
+                print(
+                    f"note: {label} has no result records"
+                    + (f" ({n_poison} poison diagnoses)" if n_poison else "")
+                )
         for line in diff.summary_lines():
             print(line)
         if args.strict and diff.removed:
@@ -688,6 +888,21 @@ def _scenarios_main(argv: list[str]) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.coordinator is not None:
+        if args.coordinator < 1:
+            parser.error("--coordinator must be >= 1 workers")
+        if not args.store:
+            parser.error("--coordinator requires --store")
+        if args.shard:
+            parser.error(
+                "--coordinator and --shard both partition the matrix; "
+                "use one (coordinated workers already split the work)"
+            )
+    if args.lease_ttl is not None:
+        if args.lease_ttl <= 0:
+            parser.error("--lease-ttl must be > 0 seconds")
+        if args.coordinator is None:
+            parser.error("--lease-ttl requires --coordinator")
     if args.resume and not args.store:
         parser.error("--resume requires --store")
     if args.baseline and not args.store:
@@ -736,6 +951,12 @@ def _scenarios_main(argv: list[str]) -> int:
         scenarios += curated
     if args.trace and args.no_telemetry:
         parser.error("--trace needs telemetry (drop --no-telemetry)")
+    if args.coordinator is not None and (args.trace or args.verbose):
+        parser.error(
+            "--trace/--verbose need in-process outcomes; coordinated "
+            "cells run in worker processes (use 'scenarios report' on "
+            "the store instead)"
+        )
 
     retry = None
     if args.retries:
@@ -798,6 +1019,40 @@ def _scenarios_main(argv: list[str]) -> int:
             print(f"\r  {done}/{total} cells", end=end, file=sys.stderr, flush=True)
 
     from repro.runtime import set_telemetry_enabled, telemetry_enabled
+
+    if args.coordinator is not None:
+        from repro.runtime import run_coordinator
+        from repro.runtime.coordinator import DEFAULT_LEASE_TTL
+
+        telemetry_was = telemetry_enabled()
+        set_telemetry_enabled(not args.no_telemetry)
+        try:
+            coord = run_coordinator(
+                scenarios,
+                store=args.store,
+                workers=args.coordinator,
+                lease_ttl=(
+                    args.lease_ttl
+                    if args.lease_ttl is not None
+                    else DEFAULT_LEASE_TTL
+                ),
+                retry=retry,
+                cell_timeout=args.cell_timeout,
+                fault_plan=fault_plan,
+            )
+        finally:
+            set_telemetry_enabled(telemetry_was)
+        print("== Coordinated campaign summary ==")
+        for line in coord.summary_lines():
+            print(line)
+        baseline_clean = True
+        if args.baseline:
+            diff = diff_stores(_reference_store(args.baseline), args.store)
+            print(f"== Baseline gate (vs {args.baseline}) ==")
+            for line in diff.summary_lines():
+                print(line)
+            baseline_clean = diff.clean
+        return 0 if coord.clean and baseline_clean else 1
 
     telemetry_was = telemetry_enabled()
     set_telemetry_enabled(not args.no_telemetry)

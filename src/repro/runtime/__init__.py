@@ -75,6 +75,20 @@ tier-1 smoke slice to thousands of cells:
     an undisturbed run (the CI chaos gate).  Off by default with a
     zero-overhead no-op check.
 
+``coordinator`` (:mod:`repro.runtime.coordinator`)
+    Lease-based work-stealing coordination for **multi-worker
+    campaigns** over one store: the coordinator plans cost-sized
+    fingerprint leases (dearest first, shrinking toward the tail) into
+    the store's ``leases``/``heartbeats`` tables (created ``IF NOT
+    EXISTS``; the JSONL backend uses a ``leases.sqlite`` sidecar),
+    ``scenarios work`` processes claim/steal them with atomic
+    compare-and-swap and commit through the campaign's
+    crash-consistent append path, and expired leases -- a SIGKILLed or
+    hung worker -- are stolen, split for culprit isolation, or routed
+    to the poison channel after repeated kills.  Leases only change
+    *who* runs a cell, never its seed: ``summary.json`` after any
+    chaos is byte-identical to an undisturbed serial run.
+
 Usage::
 
     from repro.runtime import ProcessExecutor, ResultStore, run_campaign
@@ -98,16 +112,25 @@ or from the shell::
 from repro.runtime.campaign import (
     CampaignConfig,
     CampaignReport,
+    append_results_with_retry,
     build_campaign,
     outcome_record,
     parse_shard,
     run_campaign,
     shard_scenarios,
 )
+from repro.runtime.coordinator import (
+    CoordinatorReport,
+    WorkerReport,
+    plan_campaign_leases,
+    run_coordinator,
+    work_store,
+)
 from repro.runtime.cost import (
     CellCostModel,
     backend_profile,
     plan_chunks,
+    plan_leases,
 )
 from repro.runtime.executor import (
     EXECUTOR_KINDS,
@@ -120,6 +143,7 @@ from repro.runtime.executor import (
     ThreadExecutor,
     make_executor,
 )
+from repro.runtime.executor import run_one_with_retry
 from repro.runtime.faults import FaultPlan, InjectedFault
 from repro.runtime.store import (
     CampaignDiff,
@@ -133,7 +157,11 @@ from repro.runtime.store import (
     open_store,
     spec_fingerprint,
 )
-from repro.runtime.store_sqlite import SqliteResultStore
+from repro.runtime.store_sqlite import (
+    LEASE_STATES,
+    LeaseTable,
+    SqliteResultStore,
+)
 from repro.runtime.telemetry import (
     CellTelemetry,
     chrome_trace_events,
@@ -148,6 +176,16 @@ __all__ = [
     "CampaignDiff",
     "CellCostModel",
     "CellTelemetry",
+    "CoordinatorReport",
+    "LEASE_STATES",
+    "LeaseTable",
+    "WorkerReport",
+    "append_results_with_retry",
+    "plan_campaign_leases",
+    "plan_leases",
+    "run_coordinator",
+    "run_one_with_retry",
+    "work_store",
     "chrome_trace_events",
     "set_telemetry_enabled",
     "telemetry_enabled",

@@ -51,6 +51,7 @@ from repro.utils.validation import check_positive, check_positive_int
 __all__ = [
     "CampaignConfig",
     "CampaignReport",
+    "append_results_with_retry",
     "build_campaign",
     "outcome_record",
     "parse_shard",
@@ -441,7 +442,7 @@ def run_campaign(
     telemetry_count = 0
     store_retries = 0
     if result_store is not None:
-        store_retries = _append_results_with_retry(
+        store_retries = append_results_with_retry(
             result_store,
             [outcome_record(o) for o in report.outcomes],
             retry=retry,
@@ -506,7 +507,7 @@ def run_campaign(
 _STORE_APPEND_BACKOFF_S = 0.05
 
 
-def _append_results_with_retry(
+def append_results_with_retry(
     result_store: ResultStore,
     records: list,
     *,
@@ -522,6 +523,10 @@ def _append_results_with_retry(
     by the next load.  The attempt number is published to the fault
     layer so injected store faults respect ``max_attempt`` -- bounded
     retries provably recover.  Returns the number of retries spent.
+
+    The campaign driver and the lease-coordinator workers
+    (:mod:`repro.runtime.coordinator`) share this as their one
+    crash-consistent commit path.
     """
     attempts = retry.max_attempts if retry is not None else 1
     if fault_plan is not None:
@@ -545,6 +550,10 @@ def _append_results_with_retry(
                 else _STORE_APPEND_BACKOFF_S
             )
     return attempts - 1  # pragma: no cover - loop always returns/raises
+
+
+#: Backwards-compatible private alias (pre-PR-10 internal name).
+_append_results_with_retry = append_results_with_retry
 
 
 def _persist_telemetry(

@@ -43,6 +43,7 @@ __all__ = [
     "CellCostModel",
     "spec_group_key",
     "plan_chunks",
+    "plan_leases",
     "backend_profile",
 ]
 
@@ -411,6 +412,59 @@ def plan_chunks(
             chunk, chunk_cost, chunk_cap = [], 0.0, max_chunk
     if chunk:
         plan.append(chunk)
+    return plan
+
+
+def plan_leases(
+    costs: Sequence[float],
+    workers: int,
+    *,
+    max_cells: int = 16,
+    leases_per_worker: int = 4,
+) -> list[list[int]]:
+    """Cost-sized lease plan over cell indices for the coordinator.
+
+    The distributed twin of :func:`plan_chunks`, shaped for leases that
+    cross process (and host) boundaries: cells are ordered dearest
+    first, and each lease targets the *remaining* cost divided by
+    ``workers * leases_per_worker`` -- a guided self-scheduling decay,
+    so early leases carry the expensive head in big cost bites while
+    leases shrink toward the tail and the final stragglers travel alone.
+    A dead worker near the end of a campaign therefore strands at most
+    a sliver of work for the reclaim path to steal.
+
+    Every index appears in exactly one lease; an empty ``costs`` yields
+    an empty plan.  Scheduling-only, like every cost-model consumer:
+    leases change which worker runs a cell, never its seed or verdict.
+    """
+    n = len(costs)
+    if n == 0:
+        return []
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_cells < 1:
+        raise ValueError(f"max_cells must be >= 1, got {max_cells}")
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    if np.any(costs_arr < 0):
+        raise ValueError("costs must be >= 0")
+    order = np.argsort(-costs_arr, kind="stable")
+    remaining = float(costs_arr.sum())
+    denom = max(1, workers * leases_per_worker)
+    plan: list[list[int]] = []
+    lease: list[int] = []
+    lease_cost = 0.0
+    target = remaining / denom if remaining > 0 else float("inf")
+    for idx in order:
+        i = int(idx)
+        lease.append(i)
+        lease_cost += float(costs_arr[i])
+        if lease_cost >= target or len(lease) >= max_cells:
+            plan.append(lease)
+            remaining = max(0.0, remaining - lease_cost)
+            target = remaining / denom if remaining > 0 else float("inf")
+            lease, lease_cost = [], 0.0
+    if lease:
+        plan.append(lease)
     return plan
 
 

@@ -84,6 +84,7 @@ __all__ = [
     "EXECUTOR_KINDS",
     "make_executor",
     "auto_chunksize",
+    "run_one_with_retry",
 ]
 
 #: Executor kinds :func:`make_executor` accepts.
@@ -310,7 +311,7 @@ def _run_one(
     )
 
 
-def _run_one_with_retry(
+def run_one_with_retry(
     fn: Callable[[Any], Any],
     index: int,
     payload: Any,
@@ -323,10 +324,11 @@ def _run_one_with_retry(
     """Run one payload through its (remaining) retry budget.
 
     ``start_attempt`` > 1 accounts for attempts already consumed
-    elsewhere -- e.g. exposures to pool deaths, or the grouped
-    evaluator's first pass -- so the total budget stays bounded no
-    matter which layer spent it.  ``prior_errors`` seeds the ledger
-    with those earlier failures.
+    elsewhere -- e.g. exposures to pool deaths, the grouped evaluator's
+    first pass, or a reclaimed lease's worker deaths
+    (:mod:`repro.runtime.coordinator`) -- so the total budget stays
+    bounded no matter which layer spent it.  ``prior_errors`` seeds the
+    ledger with those earlier failures.
     """
     budget = retry.max_attempts if retry is not None else 1
     log = list(prior_errors)
@@ -342,6 +344,10 @@ def _run_one_with_retry(
         log.append(_error_head(tr.error))
         time.sleep(retry.delay(attempt, token=index))
         attempt += 1
+
+
+#: Backwards-compatible private alias (pre-PR-10 internal name).
+_run_one_with_retry = run_one_with_retry
 
 
 def _run_chunk(

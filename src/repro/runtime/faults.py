@@ -67,10 +67,14 @@ __all__ = [
     "FaultPlan",
     "active_plan",
     "activate",
+    "allow_kill",
+    "kill_allowed",
     "current_attempt",
     "attempt_scope",
     "check_fault",
     "evaluate_cell_under_plan",
+    "plan_to_dict",
+    "plan_from_dict",
 ]
 
 #: Fault kinds the cell (kernel) site understands.
@@ -186,7 +190,7 @@ class FaultPlan:
             # Failsafe: without a timeout watchdog the hang must still
             # resolve to a retryable error, never a silent slow success.
         elif kind == "kill":
-            if multiprocessing.parent_process() is not None:
+            if multiprocessing.parent_process() is not None or _KILL_ALLOWED:
                 os._exit(KILL_EXIT_CODE)
             kind = "kill->raise"  # the parent process must survive
         raise InjectedFault(
@@ -206,6 +210,13 @@ class FaultPlan:
 #: :func:`evaluate_cell_under_plan`, which crosses pickle boundaries).
 _PLAN: Optional[FaultPlan] = None
 
+#: Whether an injected ``kill`` may hard-exit *this* process even when
+#: it is not a multiprocessing pool child.  Off by default -- a
+#: campaign's own process must survive its chaos harness -- and armed
+#: only by dedicated worker processes (``scenarios work``) whose death
+#: the lease coordinator is built to reclaim.
+_KILL_ALLOWED = False
+
 _TLS = threading.local()
 
 
@@ -223,6 +234,23 @@ def activate(plan: Optional[FaultPlan]):
         yield
     finally:
         _PLAN = prev
+
+
+def allow_kill(flag: bool = True) -> None:
+    """Arm (or disarm) hard ``kill`` faults for this whole process.
+
+    Pool children always honour kills; any other process degrades them
+    to ``raise`` unless it opts in here.  ``scenarios work`` opts in:
+    a lease worker's death is exactly what the coordinator's reclaim
+    path exists to absorb, so its chaos runs must die for real.
+    """
+    global _KILL_ALLOWED
+    _KILL_ALLOWED = bool(flag)
+
+
+def kill_allowed() -> bool:
+    """Whether this process honours injected hard kills (see above)."""
+    return _KILL_ALLOWED or multiprocessing.parent_process() is not None
 
 
 def current_attempt() -> int:
@@ -253,6 +281,26 @@ def check_fault(site: str, spec) -> None:
     from repro.runtime.store import spec_fingerprint
 
     _PLAN.apply_cell(spec_fingerprint(spec))
+
+
+def plan_to_dict(plan: FaultPlan) -> dict:
+    """A JSON-safe dict round-trippable through :func:`plan_from_dict`.
+
+    Lease coordinators hand their exact plan to ``scenarios work``
+    subprocesses this way (the CLI's ``SEED:RATE`` shorthand cannot
+    express custom kinds or attempt ceilings)."""
+    import dataclasses
+
+    return dataclasses.asdict(plan)
+
+
+def plan_from_dict(payload: dict) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` serialised by :func:`plan_to_dict`."""
+    data = dict(payload)
+    for field in ("kinds", "store_kinds"):
+        if field in data and data[field] is not None:
+            data[field] = tuple(data[field])
+    return FaultPlan(**data)
 
 
 def evaluate_cell_under_plan(plan: FaultPlan, scenario):

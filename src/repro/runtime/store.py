@@ -234,6 +234,9 @@ class ResultStore:
     """
 
     SUMMARY = "summary.json"
+    #: Sidecar SQLite database holding the lease + heartbeat tables for
+    #: backends whose results file is not itself multi-writer-safe.
+    LEASES = "leases.sqlite"
 
     #: Backend label (CLI/report lines, ``open_store`` schemes).
     kind: str = "abstract"
@@ -306,6 +309,29 @@ class ResultStore:
 
     def close(self) -> None:
         """Release backend resources (no-op for file-based backends)."""
+        table = getattr(self, "_lease_table", None)
+        if table is not None:
+            table.close()
+            self._lease_table = None
+
+    def leases(self):
+        """This store's lease/heartbeat table (the distributed-campaign
+        coordination surface, see
+        :class:`repro.runtime.store_sqlite.LeaseTable`).
+
+        The SQLite backend hosts the tables inside ``results.sqlite``;
+        every other backend (including this base implementation)
+        delegates to a ``leases.sqlite`` sidecar in the campaign
+        directory -- so lease claims are always multi-writer-safe even
+        when the records land in a single-writer JSONL file.
+        """
+        table = getattr(self, "_lease_table", None)
+        if table is None:
+            from repro.runtime.store_sqlite import LeaseTable
+
+            table = LeaseTable(self.root / self.LEASES)
+            self._lease_table = table
+        return table
 
     # -- shared ----------------------------------------------------------
     @staticmethod
@@ -583,13 +609,19 @@ def open_store(
     else:
         cls, root = JsonlResultStore, Path(spec)
     # A store that never appended a record still writes summary.json
-    # (a shard can legitimately own zero cells), so either file counts
-    # as evidence of a real store.  Checked before construction: the
-    # constructor would mkdir the (possibly typo'd) directory, and a
-    # reference store must never be conjured empty.
-    if must_exist and not (
-        (root / cls.RESULTS).exists() or (root / cls.SUMMARY).exists()
-    ):
+    # (a shard can legitimately own zero cells), and a campaign that
+    # crashed before any result landed may hold only telemetry or
+    # poison diagnoses -- all of it is evidence of a real store that a
+    # reference consumer (report, diff, merge source) must be able to
+    # open.  Checked before construction: the constructor would mkdir
+    # the (possibly typo'd) directory, and a reference store must never
+    # be conjured empty.
+    evidence = [root / cls.RESULTS, root / cls.SUMMARY]
+    for attr in ("TELEMETRY", "POISON", "LEASES"):
+        name = getattr(cls, attr, None)
+        if name:
+            evidence.append(root / name)
+    if must_exist and not any(path.exists() for path in evidence):
         raise FileNotFoundError(
             f"no result store at {spec!r} (missing {root / cls.RESULTS})"
         )
@@ -611,6 +643,14 @@ def merge_stores(
     Backends may differ freely: JSONL shards can merge into a SQLite
     store and vice versa.  Returns the rewritten summary.
 
+    The sources' telemetry and poison channels travel with their
+    records: both are appended to the destination's matching channel,
+    each record tagged ``merged_from: "<kind>:<root>"`` (an existing
+    tag from an earlier merge is preserved, so provenance points at the
+    original campaign, not the intermediate hop).  Dropping them --
+    the pre-PR-10 behaviour -- silently discarded every attempt ledger
+    and poison diagnosis the moment shards were folded together.
+
     A locked destination (another shard mid-commit) is absorbed by the
     SQLite backend's bounded busy-retry rather than failing the merge;
     any retries spent are surfaced as a ``store_retries`` telemetry
@@ -618,6 +658,8 @@ def merge_stores(
     """
     dest_store = open_store(dest)
     merged: dict[str, dict[str, Any]] = {}
+    telemetry_carry: list[dict[str, Any]] = []
+    poison_carry: list[dict[str, Any]] = []
     busy = 0
     for src in sources:
         src_store = open_store(src)
@@ -627,11 +669,24 @@ def merge_stores(
         ):
             raise ValueError(f"cannot merge store {src!r} into itself")
         merged.update(src_store.load())
+        src_tag = f"{src_store.kind}:{src_store.root}"
+        telemetry_carry.extend(
+            {"merged_from": src_tag, **rec}
+            for rec in src_store.load_telemetry()
+        )
+        poison_carry.extend(
+            {"merged_from": src_tag, **rec}
+            for rec in src_store.load_poison()
+        )
         busy += getattr(src_store, "busy_retries", 0)
     if merged:
         dest_store.append_many(
             merged[key] for key in sorted(merged)
         )
+    if telemetry_carry:
+        dest_store.append_telemetry(telemetry_carry)
+    if poison_carry:
+        dest_store.append_poison(poison_carry)
     summary = dest_store.write_summary()
     busy += getattr(dest_store, "busy_retries", 0)
     if busy:

@@ -82,6 +82,8 @@ __all__ = [
     "counter_totals",
     "attempt_rows",
     "store_retry_rows",
+    "lease_rows",
+    "lease_summary",
     "top_slowest",
     "calibration_rows",
     "grouping_rows",
@@ -294,6 +296,29 @@ def store_retry_rows(records: Iterable[Mapping]) -> list[dict]:
         for rec in records
         if rec.get("kind") == "store_retries" and isinstance(rec, Mapping)
     ]
+
+
+def lease_rows(records: Iterable[Mapping]) -> list[dict]:
+    """Per-lease ledger records (``kind == "lease"``) from coordinator
+    workers: which worker ran which lease, how many cells it evaluated,
+    and how many worker deaths/steals the lease survived -- the
+    reclaimed-lease audit trail ``scenarios report`` renders."""
+    return [
+        dict(rec)
+        for rec in records
+        if isinstance(rec, Mapping) and rec.get("kind") == "lease"
+    ]
+
+
+def lease_summary(records: Iterable[Mapping]) -> dict:
+    """The coordinator's run-level lease digest (``kind == "leases"``):
+    planned/done/stolen/split/poisoned lease counts plus worker respawn
+    accounting.  Last coordinator run wins; ``{}`` when none ran."""
+    summary: dict = {}
+    for rec in records:
+        if isinstance(rec, Mapping) and rec.get("kind") == "leases":
+            summary = dict(rec)
+    return summary
 
 
 def top_slowest(records: Iterable[Mapping], n: int = 10) -> list[Mapping]:

@@ -319,3 +319,63 @@ class TestScenariosRuntime:
     def test_bad_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["scenarios", "run", "--count", "2", "--jobs", "0"])
+
+
+class TestDegradedStores:
+    """report/diff on poison-only or partial stores: one useful line,
+    correct exit code, never a traceback."""
+
+    pytestmark = pytest.mark.runtime
+
+    @staticmethod
+    def _poison_only_store(root):
+        from repro.runtime import open_store
+
+        st = open_store(f"jsonl:{root}")
+        st.append_poison(
+            [{"key": "dead", "name": "cell-x", "attempts": 3,
+              "error_head": "boom", "worker": "w1"}]
+        )
+        st.close()
+        return str(root)
+
+    def test_report_on_poison_only_store(self, capsys, tmp_path):
+        store = self._poison_only_store(tmp_path / "camp")
+        assert main(["scenarios", "report", store]) == 0
+        out = capsys.readouterr().out
+        assert "Poison channel" in out
+        assert "cell-x" in out and "boom" in out
+        assert "store holds 1 poison diagnoses and 0 partial" in out
+
+    def test_report_on_partial_error_store(self, capsys, tmp_path):
+        from repro.runtime import open_store
+
+        st = open_store(f"sqlite:{tmp_path / 'camp'}")
+        st.append({"key": "k1", "error": "Traceback: ..."})
+        st.close()
+        assert main(["scenarios", "report", f"sqlite:{tmp_path / 'camp'}"]) == 0
+        out = capsys.readouterr().out
+        assert "0 poison diagnoses and 1 partial (error) records" in out
+
+    def test_report_on_store_without_telemetry_still_fails(
+        self, capsys, tmp_path
+    ):
+        from repro.runtime import open_store
+
+        st = open_store(f"jsonl:{tmp_path / 'camp'}")
+        st.append({"key": "k1", "sound": True})
+        st.close()
+        assert main(["scenarios", "report", str(tmp_path / "camp")]) == 1
+        assert "no telemetry records" in capsys.readouterr().out
+
+    def test_diff_notes_empty_sides(self, capsys, tmp_path):
+        from repro.runtime import open_store
+
+        empty = self._poison_only_store(tmp_path / "old")
+        st = open_store(f"jsonl:{tmp_path / 'new'}")
+        st.append({"key": "k1", "sound": True})
+        st.close()
+        assert main(["scenarios", "diff", empty, str(tmp_path / "new")]) == 0
+        out = capsys.readouterr().out
+        assert f"note: {empty} has no result records (1 poison diagnoses)" in out
+        assert "note: " + str(tmp_path / "new") not in out

@@ -14,7 +14,13 @@ import multiprocessing
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.runtime import (
+    fingerprint_shard,
+    spec_fingerprint,
+)
 from repro.runtime import (
     JsonlResultStore,
     SqliteResultStore,
@@ -63,6 +69,43 @@ class TestShardSpec:
         names = [sc.name for shard in shards for sc in shard]
         assert sorted(names) == sorted(sc.name for sc in matrix)
         assert len(names) == len(set(names))  # disjoint
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        fingerprints=st.lists(
+            st.text(alphabet="0123456789abcdef", min_size=16, max_size=16),
+            max_size=40,
+        ),
+        total=st.integers(min_value=1, max_value=128),
+    )
+    def test_fingerprint_shard_is_a_disjoint_exact_cover(
+        self, fingerprints, total
+    ):
+        """Every fingerprint lands in exactly one shard of [0, N), for
+        arbitrary N -- including N far above the cell count, where the
+        tail shards are legitimately empty."""
+        buckets = {i: [] for i in range(total)}
+        for fp in fingerprints:
+            idx = fingerprint_shard(fp, total)
+            assert 0 <= idx < total
+            assert idx == fingerprint_shard(fp, total)  # deterministic
+            buckets[idx].append(fp)
+        covered = [fp for bucket in buckets.values() for fp in bucket]
+        assert sorted(covered) == sorted(fingerprints)
+
+    @settings(max_examples=25, deadline=None)
+    @given(total=st.integers(min_value=1, max_value=64))
+    def test_shard_scenarios_cover_for_any_worker_count(self, total):
+        """The matrix-level consequence: N shard workers -- even more
+        workers than cells -- together run every cell exactly once."""
+        matrix = generate_scenarios(N_CELLS, seed=7, horizon=0.6)
+        shards = [shard_scenarios(matrix, (i, total)) for i in range(total)]
+        names = [sc.name for shard in shards for sc in shard]
+        assert sorted(names) == sorted(sc.name for sc in matrix)
+        for shard in shards:
+            for sc in shard:
+                idx = fingerprint_shard(spec_fingerprint(sc), total)
+                assert sc in shards[idx]
 
     def test_shard_assignment_ignores_order_and_seed(self, matrix):
         shuffled = list(reversed(matrix))

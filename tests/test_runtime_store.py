@@ -364,6 +364,41 @@ class TestMerge:
         merge_stores(tmp_path / "all", [tmp_path / "a", tmp_path / "b"])
         assert open_store(tmp_path / "all").load()["k"]["sound"] is False
 
+    @pytest.mark.parametrize("dest_kind", BACKENDS)
+    def test_merge_carries_telemetry_and_poison(self, dest_kind, tmp_path):
+        """Folding shards together must not discard their attempt
+        ledgers or poison diagnoses (the pre-PR-10 regression)."""
+        a = _make_store("jsonl", tmp_path / "a")
+        b = _make_store("sqlite", tmp_path / "b")
+        a.append(_rec("k1"))
+        a.append_telemetry([{"kind": "attempts", "key": "k1", "attempts": 2}])
+        a.append_poison([{"key": "k1", "error_head": "boom"}])
+        b.append(_rec("k2"))
+        b.append_telemetry([{"kind": "lease", "lease": 1, "worker": "w1"}])
+        dest = _make_store(dest_kind, tmp_path / "all")
+        merge_stores(dest, [f"jsonl:{tmp_path / 'a'}", f"sqlite:{tmp_path / 'b'}"])
+        tele = dest.load_telemetry()
+        assert {t.get("merged_from") for t in tele} == {
+            f"jsonl:{tmp_path / 'a'}",
+            f"sqlite:{tmp_path / 'b'}",
+        }
+        assert any(t.get("kind") == "attempts" for t in tele)
+        assert any(t.get("kind") == "lease" for t in tele)
+        (diag,) = dest.load_poison()
+        assert diag["error_head"] == "boom"
+        assert diag["merged_from"] == f"jsonl:{tmp_path / 'a'}"
+
+    def test_merge_preserves_original_provenance_across_hops(self, tmp_path):
+        """A second merge hop keeps the *first* store's tag: provenance
+        points at the original campaign, not the intermediate."""
+        a = _make_store("jsonl", tmp_path / "a")
+        a.append(_rec("k1"))
+        a.append_poison([{"key": "k1", "error_head": "boom"}])
+        merge_stores(tmp_path / "mid", [tmp_path / "a"])
+        merge_stores(tmp_path / "final", [tmp_path / "mid"])
+        (diag,) = open_store(tmp_path / "final").load_poison()
+        assert diag["merged_from"] == f"jsonl:{tmp_path / 'a'}"
+
     def test_self_merge_rejected(self, tmp_path):
         store = JsonlResultStore(tmp_path)
         store.append(_rec("k"))
